@@ -1,0 +1,194 @@
+//! Criterion micro-benchmarks of the simulator itself.
+//!
+//! These measure *host* throughput of the building blocks each experiment
+//! leans on (device ops, storage-manager paths, file-system operations,
+//! trace generation and replay), one group per experiment family, so
+//! regressions in the simulator's own performance are caught next to the
+//! experiment that would suffer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ssmc_baseline::{BaselineConfig, DiskFs};
+use ssmc_core::{MachineConfig, MobileComputer};
+use ssmc_device::{BlockId, Dram, DramSpec, Flash, FlashSpec};
+use ssmc_memfs::{MemFs, WritePolicy};
+use ssmc_sim::Clock;
+use ssmc_storage::{StorageConfig, StorageManager};
+use ssmc_trace::{replay, GeneratorConfig, Workload};
+
+fn small_flash() -> FlashSpec {
+    FlashSpec {
+        banks: 2,
+        blocks_per_bank: 32,
+        block_bytes: 16 * 1024,
+        write_unit: 512,
+        // Criterion drives millions of iterations; endurance is measured
+        // by the experiments binary, not these host-throughput benches.
+        endurance: u64::MAX,
+        ..FlashSpec::default()
+    }
+}
+
+/// T1 family: raw device-model operation throughput.
+fn bench_devices(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_device_micro");
+    g.throughput(Throughput::Bytes(512));
+    g.bench_function("flash_read_512", |b| {
+        let mut f = Flash::new(small_flash(), Clock::shared());
+        f.program(0, &[0u8; 512]).expect("program");
+        let mut buf = [0u8; 512];
+        b.iter(|| f.read(0, &mut buf).expect("read"));
+    });
+    g.bench_function("flash_program_erase_cycle", |b| {
+        let mut f = Flash::new(small_flash(), Clock::shared());
+        b.iter(|| {
+            f.program(0, &[0u8; 512]).expect("program");
+            f.erase(BlockId(0)).expect("erase");
+        });
+    });
+    g.bench_function("dram_write_512", |b| {
+        let mut d = Dram::new(DramSpec::default().with_capacity(1 << 20), Clock::shared());
+        b.iter(|| d.write(0, &[0u8; 512]).expect("write"));
+    });
+    g.finish();
+}
+
+/// F2/F5 family: storage-manager write path and GC under churn.
+fn bench_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f2_f5_storage_manager");
+    g.throughput(Throughput::Bytes(512));
+    g.bench_function("write_page_buffered", |b| {
+        let clock = Clock::shared();
+        let cfg = StorageConfig {
+            flash: small_flash(),
+            dram_buffer_bytes: 64 * 512,
+            ..StorageConfig::default()
+        };
+        let mut sm = StorageManager::new(cfg, clock);
+        let data = [0u8; 512];
+        let mut p = 0u64;
+        b.iter(|| {
+            sm.write_page(p % 16, &data).expect("write");
+            p += 1;
+        });
+    });
+    g.bench_function("churn_with_gc", |b| {
+        let clock = Clock::shared();
+        let cfg = StorageConfig {
+            flash: small_flash(),
+            dram_buffer_bytes: 16 * 512,
+            checkpointing: false,
+            ..StorageConfig::default()
+        };
+        let mut sm = StorageManager::new(cfg, clock.clone());
+        let data = [0u8; 512];
+        for p in 0..400u64 {
+            sm.write_page(p, &data).expect("fill");
+        }
+        sm.sync().expect("sync");
+        let mut i = 0u64;
+        b.iter(|| {
+            sm.write_page(i % 400, &data).expect("update");
+            i += 1;
+            if i.is_multiple_of(64) {
+                sm.sync().expect("sync");
+                clock.advance(ssmc_sim::SimDuration::from_secs(1));
+                sm.tick().expect("tick");
+            }
+        });
+    });
+    g.finish();
+}
+
+/// T2 family: file-system operations on both organisations.
+fn bench_filesystems(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_fs_ops");
+    g.bench_function("memfs_create_write_delete", |b| {
+        let clock = Clock::shared();
+        let cfg = StorageConfig {
+            flash: small_flash().with_capacity(8 << 20),
+            dram_buffer_bytes: 256 * 512,
+            ..StorageConfig::default()
+        };
+        let sm = StorageManager::new(cfg, clock);
+        let mut fs = MemFs::new(sm, WritePolicy::CopyOnWrite).expect("mount");
+        let mut i = 0u64;
+        b.iter(|| {
+            let path = format!("/bench{i}");
+            let fd = fs.create(&path).expect("create");
+            fs.write(fd, 0, &[7u8; 2048]).expect("write");
+            fs.unlink(&path).expect("unlink");
+            i += 1;
+        });
+    });
+    g.bench_function("diskfs_create_write_delete", |b| {
+        let clock = Clock::shared();
+        let mut fs = DiskFs::new(BaselineConfig::default(), clock);
+        let mut i = 0u64;
+        b.iter(|| {
+            fs.create(i).expect("create");
+            fs.write(i, 0, 2048).expect("write");
+            fs.delete(i).expect("delete");
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+/// F6 family: VM fault handling and XIP launches.
+fn bench_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f6_vm");
+    g.bench_function("xip_launch_64k", |b| {
+        b.iter_batched(
+            || {
+                let mut m = MobileComputer::new(MachineConfig::small_notebook());
+                let fd = m.fs().create("/app").expect("create");
+                m.fs().write(fd, 0, &vec![0u8; 64 * 1024]).expect("write");
+                m.fs().sync().expect("sync");
+                m
+            },
+            |mut m| m.launch_app("/app", true).expect("launch"),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+/// F7/T2b family: trace generation and replay throughput.
+fn bench_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f7_trace_replay");
+    g.bench_function("generate_bsd_5k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            GeneratorConfig::new(Workload::Bsd)
+                .with_ops(5_000)
+                .with_seed(seed)
+                .generate()
+        });
+    });
+    g.bench_function("replay_office_2k_on_machine", |b| {
+        let trace = GeneratorConfig::new(Workload::Office)
+            .with_ops(2_000)
+            .with_max_live_bytes(1 << 20)
+            .generate();
+        b.iter_batched(
+            || MobileComputer::new(MachineConfig::small_notebook()),
+            |mut m| {
+                let clock = m.clock().clone();
+                replay(&trace, &mut m, &clock)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_devices,
+    bench_storage,
+    bench_filesystems,
+    bench_vm,
+    bench_traces
+);
+criterion_main!(benches);

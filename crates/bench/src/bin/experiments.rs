@@ -1,0 +1,73 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p ssmc-bench --bin experiments -- all
+//! cargo run --release -p ssmc-bench --bin experiments -- t1 f2 f4
+//! cargo run --release -p ssmc-bench --bin experiments -- --list
+//! cargo run --release -p ssmc-bench --bin experiments -- all --json results/
+//! ```
+
+use ssmc_bench::experiments;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = experiments();
+
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments [--list] [--json DIR] <ids...|all>");
+        eprintln!("experiments:");
+        for e in &registry {
+            eprintln!("  {:4}  {}", e.id, e.title);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for e in &registry {
+            println!("{:4}  {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+
+    let want_all = args.iter().any(|a| a == "all");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let mut ran = 0;
+    for e in &registry {
+        if !want_all && !wanted.contains(&e.id) {
+            continue;
+        }
+        eprintln!(">>> running {} — {}", e.id, e.title);
+        let start = std::time::Instant::now();
+        let tables = (e.run)();
+        eprintln!("    ({:.1} s)", start.elapsed().as_secs_f64());
+        for t in &tables {
+            println!("{}", t.render());
+        }
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("{}.json", e.id));
+            let mut f = std::fs::File::create(&path).expect("create json");
+            let json = serde_json::to_string_pretty(&tables).expect("serialise tables");
+            f.write_all(json.as_bytes()).expect("write json");
+            eprintln!("    wrote {}", path.display());
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no matching experiments; try --list");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,110 @@
+//! A1 — ablation: write-buffer flush policy.
+//!
+//! The §3.3 write buffer has one central knob: how long dirty data may
+//! linger in DRAM. DESIGN.md calls this the §3.1/§3.3 trade — a longer
+//! write-back delay absorbs more traffic (performance, wear) but exposes
+//! more data to battery failure. This ablation sweeps the age limit and
+//! the watermark pair and reports both sides at once.
+
+use ssmc_core::{MachineConfig, MobileComputer};
+use ssmc_sim::{SimDuration, Table};
+use ssmc_trace::{replay, GeneratorConfig, OpKind, Workload};
+
+struct Outcome {
+    reduction_pct: f64,
+    mean_write_us: f64,
+    dirty_mean_kb: f64,
+    dirty_peak_kb: f64,
+    flash_pages: u64,
+}
+
+fn drive(age_secs: u64, high: f64, low: f64) -> Outcome {
+    let mut cfg = MachineConfig::small_notebook();
+    cfg.storage.flush.age_limit = SimDuration::from_secs(age_secs);
+    cfg.storage.flush.high_watermark = high;
+    cfg.storage.flush.low_watermark = low;
+    let mut m = MobileComputer::new(cfg);
+    let trace = GeneratorConfig::new(Workload::Bsd)
+        .with_ops(12_000)
+        .with_max_live_bytes(3 << 20)
+        .generate();
+    let clock = m.clock().clone();
+    let report = replay(&trace, &mut m, &clock);
+    let now = m.fs().storage().now();
+    let sm = m.fs().storage().metrics();
+    Outcome {
+        reduction_pct: sm.write_traffic_reduction() * 100.0,
+        mean_write_us: report.mean_latency(OpKind::Write).as_micros_f64(),
+        dirty_mean_kb: sm.dirty_exposure.mean(now) / 1024.0,
+        dirty_peak_kb: sm.dirty_exposure.peak() / 1024.0,
+        flash_pages: sm.user_flash_pages,
+    }
+}
+
+/// Runs A1.
+pub fn run() -> Vec<Table> {
+    let mut age = Table::new(
+        "A1a: flush age limit — traffic absorbed vs data exposed (BSD workload)",
+        &[
+            "age limit (s)",
+            "traffic reduction (%)",
+            "mean write (us)",
+            "mean dirty (KB)",
+            "peak dirty (KB)",
+            "user pages to flash",
+        ],
+    );
+    for secs in [1u64, 5, 15, 30, 60, 180] {
+        let o = drive(secs, 0.9, 0.75);
+        age.row(vec![
+            secs.into(),
+            o.reduction_pct.into(),
+            o.mean_write_us.into(),
+            o.dirty_mean_kb.into(),
+            o.dirty_peak_kb.into(),
+            o.flash_pages.into(),
+        ]);
+    }
+    let mut marks = Table::new(
+        "A1b: watermark pair at a 30 s age limit",
+        &[
+            "high/low watermark",
+            "traffic reduction (%)",
+            "mean write (us)",
+            "peak dirty (KB)",
+        ],
+    );
+    for (high, low) in [(0.5, 0.25), (0.75, 0.5), (0.9, 0.75), (0.98, 0.9)] {
+        let o = drive(30, high, low);
+        marks.row(vec![
+            format!("{high:.2}/{low:.2}").into(),
+            o.reduction_pct.into(),
+            o.mean_write_us.into(),
+            o.dirty_peak_kb.into(),
+        ]);
+    }
+    vec![age, marks]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_delay_absorbs_more_but_exposes_more() {
+        let short = drive(1, 0.9, 0.75);
+        let long = drive(120, 0.9, 0.75);
+        assert!(
+            long.reduction_pct > short.reduction_pct,
+            "long {} vs short {}",
+            long.reduction_pct,
+            short.reduction_pct
+        );
+        assert!(
+            long.dirty_mean_kb > short.dirty_mean_kb,
+            "exposure: long {} vs short {}",
+            long.dirty_mean_kb,
+            short.dirty_mean_kb
+        );
+    }
+}

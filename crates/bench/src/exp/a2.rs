@@ -1,0 +1,86 @@
+//! A2 — ablation: checkpointing.
+//!
+//! The checkpoint ping-pong area trades steady-state flash traffic (map
+//! snapshots) for bounded recovery scans after battery death. This
+//! ablation measures both sides across checkpoint-interval settings.
+
+use ssmc_core::{MachineConfig, MobileComputer};
+use ssmc_sim::Table;
+use ssmc_trace::{replay, GeneratorConfig, Workload};
+
+struct Outcome {
+    ckpt_pages: u64,
+    ckpt_block_erases: u64,
+    recovery_ms: f64,
+    recovered: u64,
+}
+
+fn drive(checkpointing: bool) -> Outcome {
+    let mut cfg = MachineConfig::small_notebook();
+    cfg.storage.checkpointing = checkpointing;
+    let mut m = MobileComputer::new(cfg);
+    let trace = GeneratorConfig::new(Workload::Bsd)
+        .with_ops(12_000)
+        .with_max_live_bytes(2 << 20)
+        .generate();
+    let clock = m.clock().clone();
+    let _ = replay(&trace, &mut m, &clock);
+    let ckpt_pages = m.fs().storage().metrics().checkpoint_flash_pages;
+    let flash = m.fs().storage().flash();
+    let ckpt_block_erases =
+        flash.erase_count(ssmc_device::BlockId(0)) + flash.erase_count(ssmc_device::BlockId(1));
+    m.battery_failure();
+    let (report, _) = m.replace_battery_and_recover().expect("recover");
+    Outcome {
+        ckpt_pages,
+        ckpt_block_erases,
+        recovery_ms: report.duration.as_millis_f64(),
+        recovered: report.recovered_pages,
+    }
+}
+
+/// Runs A2.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "A2: checkpointing — steady-state overhead vs recovery time (BSD, ~10 min)",
+        &[
+            "checkpointing",
+            "checkpoint pages written",
+            "checkpoint-block erases",
+            "recovery (ms)",
+            "pages recovered",
+        ],
+    );
+    for on in [true, false] {
+        let o = drive(on);
+        t.row(vec![
+            if on { "every 60 s" } else { "off" }.into(),
+            o.ckpt_pages.into(),
+            o.ckpt_block_erases.into(),
+            o.recovery_ms.into(),
+            o.recovered.into(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpointing_trades_write_overhead_for_recovery_speed() {
+        let with = drive(true);
+        let without = drive(false);
+        assert!(with.ckpt_pages > 0, "checkpoints were written");
+        assert_eq!(without.ckpt_pages, 0);
+        assert!(
+            with.recovery_ms < without.recovery_ms,
+            "with {} ms vs without {} ms",
+            with.recovery_ms,
+            without.recovery_ms
+        );
+        // Both recover the same durable state.
+        assert_eq!(with.recovered, without.recovered);
+    }
+}

@@ -1,0 +1,116 @@
+//! F1 — §2 technology-trend extrapolation.
+//!
+//! Paper: memory $/MB and MB/in³ improve ≈40 %/yr vs ≈25 %/yr for disk,
+//! so (a) DRAM density passes small-disk density "shortly", (b) DRAM cost
+//! reaches disk cost eventually, and (c) by an Intel estimate, 40 MB
+//! flash configurations match disk cost "by the year 1996" (requiring a
+//! steeper early flash learning curve than 40 %). We print the curves and
+//! solve for every crossover under both scenarios.
+
+use ssmc_device::trends::TrendScenario;
+use ssmc_device::{Technology, TrendModel};
+use ssmc_sim::Table;
+
+/// Runs F1.
+pub fn run() -> Vec<Table> {
+    let m = TrendModel::default();
+    let mut curve = Table::new(
+        "F1a: $/MB by year (paper rates; flash also shown under the Intel forecast)",
+        &[
+            "year",
+            "DRAM $/MB",
+            "flash $/MB (40%/yr)",
+            "flash $/MB (forecast)",
+            "disk $/MB",
+            "DRAM MB/in^3",
+            "disk MB/in^3",
+        ],
+    );
+    for year in 1993..=2003u32 {
+        let y = year as f64;
+        curve.row(vec![
+            (year as u64).into(),
+            m.cost_per_mb(Technology::Dram, y, TrendScenario::PaperRates)
+                .into(),
+            m.cost_per_mb(Technology::Flash, y, TrendScenario::PaperRates)
+                .into(),
+            m.cost_per_mb(Technology::Flash, y, TrendScenario::IntelForecast)
+                .into(),
+            m.cost_per_mb(Technology::Disk, y, TrendScenario::PaperRates)
+                .into(),
+            m.density(Technology::Dram, y).into(),
+            m.density(Technology::Disk, y).into(),
+        ]);
+    }
+
+    let mut cross = Table::new(
+        "F1b: crossover years (unit cost includes the disk's fixed mechanism cost)",
+        &["comparison", "config", "scenario", "crossover year"],
+    );
+    let fmt = |y: Option<f64>| -> ssmc_sim::Cell {
+        match y {
+            Some(y) => format!("{y:.1}").into(),
+            None => "beyond horizon".into(),
+        }
+    };
+    cross.row(vec![
+        "DRAM density >= disk density".into(),
+        "-".into(),
+        "paper rates".into(),
+        fmt(m.density_crossover_year(Technology::Dram, Technology::Disk, 15.0)),
+    ]);
+    for mb in [20.0, 40.0, 120.0] {
+        for (scenario, label) in [
+            (TrendScenario::IntelForecast, "Intel forecast"),
+            (TrendScenario::PaperRates, "paper rates"),
+        ] {
+            cross.row(vec![
+                "flash unit cost <= disk".into(),
+                format!("{mb:.0} MB").into(),
+                label.into(),
+                fmt(m.cost_crossover_year(Technology::Flash, Technology::Disk, mb, 30.0, scenario)),
+            ]);
+        }
+    }
+    cross.row(vec![
+        "DRAM unit cost <= disk".into(),
+        "20 MB".into(),
+        "paper rates".into(),
+        fmt(m.cost_crossover_year(
+            Technology::Dram,
+            Technology::Disk,
+            20.0,
+            40.0,
+            TrendScenario::PaperRates,
+        )),
+    ]);
+    vec![curve, cross]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_tables_have_expected_shape() {
+        let tables = run();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 11); // 1993..=2003
+        assert_eq!(tables[1].rows.len(), 1 + 6 + 1);
+    }
+
+    #[test]
+    fn intel_forecast_crosses_by_mid_90s_at_40mb() {
+        let m = TrendModel::default();
+        let y = m
+            .cost_crossover_year(
+                Technology::Flash,
+                Technology::Disk,
+                40.0,
+                30.0,
+                TrendScenario::IntelForecast,
+            )
+            .expect("crossover");
+        assert!(y < 1998.5, "crossover {y}");
+    }
+}

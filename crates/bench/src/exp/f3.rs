@@ -1,0 +1,180 @@
+//! F3 — §3.3 bank partitioning.
+//!
+//! Paper: "In order to maintain fast read access ... during the slow
+//! erase/write cycles of flash memory, it may prove necessary to
+//! partition flash memory into two or more banks." With one bank, every
+//! program (~5 ms for a page) and erase (~0.5 s) stalls concurrent reads;
+//! with several, reads land on idle banks. We drive a mixed read/write
+//! load against 1/2/4/8 banks, plus the explicit read-mostly partition,
+//! plus a forward-looking row: the program/erase *suspend* feature later
+//! flash generations added, which attacks the same problem in the device
+//! instead of in the layout.
+
+use ssmc_device::FlashSpec;
+use ssmc_sim::{Clock, Histogram, Table};
+use ssmc_storage::{BankPolicy, StorageConfig, StorageManager};
+
+struct Outcome {
+    mean_us: f64,
+    p99_us: f64,
+    stall_pct: f64,
+    erases: u64,
+}
+
+fn drive(banks: u32, policy: BankPolicy, suspend: Option<ssmc_sim::SimDuration>) -> Outcome {
+    let clock = Clock::shared();
+    let cfg = StorageConfig {
+        page_size: 512,
+        dram_buffer_bytes: 32 * 512,
+        flash: FlashSpec {
+            blocks_per_bank: 1,
+            block_bytes: 16 * 1024,
+            write_unit: 512,
+            suspend_overhead: suspend,
+            ..FlashSpec::default()
+        }
+        .with_capacity(3 << 20)
+        .with_banks(banks),
+        bank_policy: policy,
+        gc_trigger_segments: 3,
+        gc_target_segments: 5,
+        ..StorageConfig::default()
+    };
+    let mut sm = StorageManager::new(cfg, clock.clone());
+    let data = vec![0u8; 512];
+    let mut buf = vec![0u8; 512];
+
+    // Populate a cold read set and push it to flash.
+    let cold: Vec<u64> = (0..1_600u64).collect();
+    for &p in &cold {
+        sm.write_page(p, &data).expect("populate");
+    }
+    sm.sync().expect("sync");
+
+    // Mixed phase: a writer stream churns hot pages (forcing programs,
+    // GC, and erases) while a reader samples the cold set.
+    let mut lat = Histogram::new();
+    let mut rng = ssmc_sim::SimRng::seed_from_u64(7);
+    for round in 0..600u64 {
+        for i in 0..8u64 {
+            let hot = 10_000 + (round * 8 + i) % 256;
+            sm.write_page(hot, &data).expect("hot write");
+        }
+        sm.sync().expect("flush hot");
+        // Reads arrive while the flush burst is still programming.
+        for _ in 0..4 {
+            let p = cold[rng.below(cold.len() as u64) as usize];
+            let t0 = clock.now();
+            sm.read_page(p, &mut buf).expect("read");
+            lat.record_duration(clock.now().since(t0));
+        }
+        // Pace the writer so the offered load stays within the device's
+        // program bandwidth (~41 ms of programs per 60 ms round).
+        clock.advance(ssmc_sim::SimDuration::from_millis(60));
+        sm.tick().expect("tick");
+    }
+    let c = sm.flash().counters();
+    Outcome {
+        mean_us: lat.mean() / 1_000.0,
+        p99_us: lat.quantile(0.99) as f64 / 1_000.0,
+        stall_pct: 100.0 * c.stalled_reads as f64 / c.reads.max(1) as f64,
+        erases: c.erases,
+    }
+}
+
+/// Runs F3.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "F3: read latency under concurrent flash programs/erases vs bank count",
+        &[
+            "banks",
+            "policy",
+            "mean read (us)",
+            "p99 read (us)",
+            "stalled reads (%)",
+            "erases",
+        ],
+    );
+    for banks in [1u32, 2, 4, 8] {
+        let o = drive(banks, BankPolicy::Unified, None);
+        t.row(vec![
+            (banks as u64).into(),
+            "unified".into(),
+            o.mean_us.into(),
+            o.p99_us.into(),
+            o.stall_pct.into(),
+            o.erases.into(),
+        ]);
+    }
+    let o = drive(4, BankPolicy::ReadMostlyPartition { read_banks: 2 }, None);
+    t.row(vec![
+        4u64.into(),
+        "read-mostly partition (2+2)".into(),
+        o.mean_us.into(),
+        o.p99_us.into(),
+        o.stall_pct.into(),
+        o.erases.into(),
+    ]);
+    // Forward-looking: suspend-capable parts solve the problem in the
+    // device even with a single bank.
+    let o = drive(
+        1,
+        BankPolicy::Unified,
+        Some(ssmc_sim::SimDuration::from_micros(20)),
+    );
+    t.row(vec![
+        1u64.into(),
+        "with program/erase suspend (post-1993)".into(),
+        o.mean_us.into(),
+        o.p99_us.into(),
+        o.stall_pct.into(),
+        o.erases.into(),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_banks_means_fewer_stalls() {
+        let one = drive(1, BankPolicy::Unified, None);
+        let four = drive(4, BankPolicy::Unified, None);
+        assert!(
+            four.stall_pct < one.stall_pct,
+            "4 banks {} % vs 1 bank {} %",
+            four.stall_pct,
+            one.stall_pct
+        );
+        assert!(
+            four.mean_us < one.mean_us,
+            "4 banks {} us vs 1 bank {} us",
+            four.mean_us,
+            one.mean_us
+        );
+    }
+
+    #[test]
+    fn single_bank_reads_stall_toward_program_scale() {
+        let one = drive(1, BankPolicy::Unified, None);
+        // A bare 512 B read is ~51 us; stalls push the mean well past it.
+        assert!(one.mean_us > 100.0, "mean {} us", one.mean_us);
+    }
+
+    #[test]
+    fn suspend_beats_banking_at_equal_bank_count() {
+        let plain = drive(1, BankPolicy::Unified, None);
+        let suspended = drive(
+            1,
+            BankPolicy::Unified,
+            Some(ssmc_sim::SimDuration::from_micros(20)),
+        );
+        assert!(
+            suspended.mean_us < plain.mean_us / 10.0,
+            "suspend {} us vs plain {} us",
+            suspended.mean_us,
+            plain.mean_us
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! F6 — §3.2 execute-in-place.
+//!
+//! Paper: "programs residing in flash memory can be executed in place
+//! without loss of performance. There is no need to load their code
+//! segment into primary storage" (the OmniBook shipped this way). We
+//! launch binaries of growing size both ways: XIP launch cost should stay
+//! flat and use zero DRAM, demand loading should grow linearly in both;
+//! steady-state fetches from flash stay within a small factor of DRAM.
+
+use ssmc_core::{MachineConfig, MobileComputer};
+use ssmc_sim::Table;
+
+fn machine() -> MobileComputer {
+    MobileComputer::new(MachineConfig::with_sizes("f6", 16 << 20, 48 << 20))
+}
+
+/// Runs F6.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "F6a: program launch — execute-in-place vs demand load",
+        &[
+            "binary (KB)",
+            "xip launch (us)",
+            "load launch (us)",
+            "xip DRAM (pages)",
+            "load DRAM (pages)",
+        ],
+    );
+    for kb in [64u64, 256, 1024, 4096, 8192] {
+        let mut m = machine();
+        let fd = m.fs().create("/app").expect("create");
+        m.fs()
+            .write(fd, 0, &vec![0xC3u8; (kb * 1024) as usize])
+            .expect("write");
+        m.fs().sync().expect("sync");
+        let xip = m.launch_app("/app", true).expect("xip");
+        let load = m.launch_app("/app", false).expect("load");
+        t.row(vec![
+            kb.into(),
+            xip.latency.as_micros_f64().into(),
+            load.latency.as_micros_f64().into(),
+            xip.dram_pages.into(),
+            load.dram_pages.into(),
+        ]);
+    }
+
+    let mut steady = Table::new(
+        "F6b: steady-state instruction fetch (2000 touches of a 256 KB text)",
+        &["mode", "total fetch time (us)", "per-fetch (ns)"],
+    );
+    let mut m = machine();
+    let fd = m.fs().create("/app").expect("create");
+    m.fs()
+        .write(fd, 0, &vec![0xC3u8; 256 * 1024])
+        .expect("write");
+    m.fs().sync().expect("sync");
+    for (label, xip) in [
+        ("execute-in-place (flash)", true),
+        ("demand-loaded (DRAM)", false),
+    ] {
+        let stats = m.launch_app("/app", xip).expect("launch");
+        let dur = m.run_app(&stats, 256 * 1024, 2_000).expect("run");
+        steady.row(vec![
+            label.into(),
+            dur.as_micros_f64().into(),
+            (dur.as_nanos() as f64 / 2_000.0).into(),
+        ]);
+    }
+    vec![t, steady]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xip_launch_flat_load_launch_linear() {
+        let run_one = |kb: u64| {
+            let mut m = machine();
+            let fd = m.fs().create("/app").expect("create");
+            m.fs()
+                .write(fd, 0, &vec![0u8; (kb * 1024) as usize])
+                .expect("write");
+            m.fs().sync().expect("sync");
+            let xip = m.launch_app("/app", true).expect("xip");
+            let load = m.launch_app("/app", false).expect("load");
+            (xip, load)
+        };
+        let (x_small, l_small) = run_one(64);
+        let (x_big, l_big) = run_one(2048);
+        // XIP: flat in size, zero DRAM.
+        assert!(x_big.latency < x_small.latency * 4);
+        assert_eq!(x_big.dram_pages, 0);
+        // Demand load: linear-ish in size.
+        assert!(l_big.latency > l_small.latency * 8);
+        assert!(l_big.dram_pages >= 8 * l_small.dram_pages);
+        // XIP beats loading at every size.
+        assert!(x_small.latency < l_small.latency);
+        assert!(x_big.latency < l_big.latency);
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per experiment. See the crate docs and DESIGN.md §6.
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod f1;
+pub mod f2;
+pub mod f3;
+pub mod f4;
+pub mod f5;
+pub mod f6;
+pub mod f7;
+pub mod f8;
+pub mod t1;
+pub mod t2;
+pub mod t3;

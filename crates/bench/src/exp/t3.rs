@@ -1,0 +1,155 @@
+//! T3 — §3.1 battery-backed DRAM as (nearly) stable storage.
+//!
+//! Paper: primary batteries "can preserve the contents of main memory in
+//! an otherwise idle system for many days"; lithium backup cells "for
+//! many hours"; and "with appropriate care to ensure that an untimely
+//! crash is unlikely to corrupt data, DRAM can safely hold file system
+//! data". We measure (a) the holding times, and (b) what a total battery
+//! failure actually costs as a function of the write-back delay, with and
+//! without checkpointing.
+
+use ssmc_core::{MachineConfig, MobileComputer};
+use ssmc_device::{Battery, BatterySpec, DramSpec};
+use ssmc_sim::{Power, SimDuration, Table};
+use ssmc_trace::{replay, GeneratorConfig, Workload};
+
+/// Runs T3.
+pub fn run() -> Vec<Table> {
+    // (a) Holding times under self-refresh.
+    let mut hold = Table::new(
+        "T3a: how long batteries preserve idle DRAM (self-refresh)",
+        &[
+            "DRAM (MB)",
+            "draw (mW)",
+            "primary pack holds",
+            "backup cells hold",
+        ],
+    );
+    let spec = BatterySpec::default();
+    for mb in [1u64, 4, 16] {
+        let dram = DramSpec::default();
+        // Self-refresh scales with array size relative to the 8 MB part.
+        let draw_mw = dram.self_refresh_power.as_milliwatts() * mb as f64 / 8.0;
+        let draw = Power::from_milliwatts_f64(draw_mw);
+        let primary = Battery::new(BatterySpec {
+            backup_capacity: ssmc_sim::Energy::ZERO,
+            ..spec.clone()
+        })
+        .time_to_empty(draw);
+        let backup = Battery::new(BatterySpec {
+            primary_capacity: ssmc_sim::Energy::ZERO,
+            ..spec.clone()
+        })
+        .time_to_empty(draw);
+        hold.row(vec![
+            mb.into(),
+            draw_mw.into(),
+            format!("{:.1} days", primary.as_secs_f64() / 86_400.0).into(),
+            format!("{:.1} hours", backup.as_secs_f64() / 3_600.0).into(),
+        ]);
+    }
+
+    // (b) Crash exposure vs flush delay, with and without checkpoints.
+    let mut crash = Table::new(
+        "T3b: total battery failure mid-workload — cost vs write-back delay",
+        &[
+            "flush age limit",
+            "checkpointing",
+            "dirty pages at crash",
+            "lost",
+            "reverted",
+            "resurrected",
+            "recovery (ms)",
+        ],
+    );
+    for age_secs in [5u64, 30, 120] {
+        for ckpt in [true, false] {
+            let mut cfg = MachineConfig::small_notebook();
+            cfg.storage.flush.age_limit = SimDuration::from_secs(age_secs);
+            cfg.storage.checkpointing = ckpt;
+            let mut m = MobileComputer::new(cfg);
+            let trace = GeneratorConfig::new(Workload::Bsd)
+                .with_ops(6_000)
+                .with_max_live_bytes(2 << 20)
+                .generate();
+            let clock = m.clock().clone();
+            let _ = replay(&trace, &mut m, &clock);
+            let dirty_at_crash = m.fs().storage().metrics().buffer_occupancy.level();
+            m.battery_failure();
+            let (report, _fsck) = m.replace_battery_and_recover().expect("recover");
+            crash.row(vec![
+                format!("{age_secs} s").into(),
+                if ckpt { "yes" } else { "no" }.into(),
+                (dirty_at_crash as u64).into(),
+                report.lost_pages.into(),
+                report.reverted_pages.into(),
+                report.resurrected_pages.into(),
+                report.duration.as_millis_f64().into(),
+            ]);
+        }
+    }
+    vec![hold, crash]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pack_holds_idle_dram_for_days() {
+        let spec = BatterySpec::default();
+        let draw = DramSpec::default().self_refresh_power;
+        let t = Battery::new(spec).time_to_empty(draw);
+        assert!(
+            t.as_secs_f64() > 5.0 * 86_400.0,
+            "held only {:.1} days",
+            t.as_secs_f64() / 86_400.0
+        );
+    }
+
+    #[test]
+    fn longer_flush_delay_exposes_more_data() {
+        let risk = |age_secs: u64| -> u64 {
+            let mut cfg = MachineConfig::small_notebook();
+            cfg.storage.flush.age_limit = SimDuration::from_secs(age_secs);
+            let mut m = MobileComputer::new(cfg);
+            let trace = GeneratorConfig::new(Workload::Bsd)
+                .with_ops(4_000)
+                .with_max_live_bytes(2 << 20)
+                .generate();
+            let clock = m.clock().clone();
+            let _ = replay(&trace, &mut m, &clock);
+            m.battery_failure();
+            let (report, _) = m.replace_battery_and_recover().expect("recover");
+            report.pages_at_risk()
+        };
+        let short = risk(2);
+        let long = risk(300);
+        assert!(long > short, "risk at 300 s {long} vs 2 s {short}");
+    }
+
+    #[test]
+    fn recovery_restores_a_consistent_tree() {
+        let mut m = MobileComputer::new(MachineConfig::small_notebook());
+        let trace = GeneratorConfig::new(Workload::SoftwareDev)
+            .with_ops(3_000)
+            .with_max_live_bytes(2 << 20)
+            .generate();
+        let clock = m.clock().clone();
+        let _ = replay(&trace, &mut m, &clock);
+        m.battery_failure();
+        let (_, fsck) = m.replace_battery_and_recover().expect("recover");
+        assert!(!fsck.root_rebuilt, "root survived");
+        // Every listed entry must stat cleanly after fsck.
+        let names: Vec<String> = m
+            .fs()
+            .list_dir("/")
+            .expect("list")
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        for n in names {
+            m.fs().stat(&format!("/{n}")).expect("consistent entry");
+        }
+    }
+}

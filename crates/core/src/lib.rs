@@ -1,0 +1,29 @@
+//! The assembled solid-state mobile computer.
+//!
+//! This crate ties the paper's pieces into one machine model:
+//! battery-backed DRAM and direct-mapped flash ([`ssmc_device`]), the
+//! physical storage manager ([`ssmc_storage`]), the memory-resident file
+//! system ([`ssmc_memfs`]), and the single-level-store VM with
+//! execute-in-place ([`ssmc_vm`]) — plus the conventional disk
+//! organisation ([`ssmc_baseline`]) wrapped the same way, so the two run
+//! identical workloads:
+//!
+//! * [`MobileComputer`] / [`DiskComputer`] — the two organisations, both
+//!   implementing [`ssmc_trace::TraceTarget`];
+//! * [`run`] — trace running with combined report;
+//! * [`sizing`] — the §4 question: how should a fixed budget be split
+//!   between DRAM and flash? (experiment F7);
+//! * [`lifetime`] — flash lifetime projection from observed wear
+//!   (experiment F4).
+
+pub mod config;
+pub mod lifetime;
+pub mod machine;
+pub mod run;
+pub mod sizing;
+
+pub use config::MachineConfig;
+pub use lifetime::project_lifetime_years;
+pub use machine::{DiskComputer, MobileComputer};
+pub use run::{run_trace, RunReport};
+pub use sizing::{sweep_sizing, SizingPoint, SizingSpec};

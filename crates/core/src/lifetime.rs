@@ -1,0 +1,104 @@
+//! Flash lifetime projection.
+//!
+//! §2/§3.3: flash endures "a guaranteed 100,000 erase cycles per area",
+//! and the storage manager's job is to make that last the machine's
+//! lifetime. The projection extrapolates the *worst* block's observed
+//! erase rate — the block that dies first ends the device's guarantee —
+//! so uneven wear shows up directly as a shorter life (experiment F4).
+
+use ssmc_device::Flash;
+use ssmc_sim::SimDuration;
+
+/// Seconds per (365-day) year.
+const YEAR_SECS: f64 = 365.0 * 86_400.0;
+
+/// Projects years until the most-worn block exhausts its endurance, given
+/// the wear accumulated over `elapsed` of simulated workload.
+///
+/// Returns `None` when nothing has been erased yet (no basis for a rate),
+/// and `Some(0.0)` if a block has already worn out.
+pub fn project_lifetime_years(flash: &Flash, elapsed: SimDuration) -> Option<f64> {
+    let stats = flash.wear_stats();
+    if stats.bad_blocks > 0 || flash.first_wearout().is_some() {
+        return Some(0.0);
+    }
+    if stats.max_erases == 0 || elapsed == SimDuration::ZERO {
+        return None;
+    }
+    let endurance = flash.spec().endurance as f64;
+    let rate_per_sec = stats.max_erases as f64 / elapsed.as_secs_f64();
+    let remaining = endurance - stats.max_erases as f64;
+    Some(remaining / rate_per_sec / YEAR_SECS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmc_device::{BlockId, FlashSpec};
+    use ssmc_sim::Clock;
+
+    fn flash(endurance: u64) -> Flash {
+        Flash::new(
+            FlashSpec {
+                banks: 1,
+                blocks_per_bank: 8,
+                block_bytes: 4096,
+                endurance,
+                ..FlashSpec::default()
+            },
+            Clock::shared(),
+        )
+    }
+
+    #[test]
+    fn no_erases_no_projection() {
+        let f = flash(1000);
+        assert_eq!(
+            project_lifetime_years(&f, SimDuration::from_secs(100)),
+            None
+        );
+    }
+
+    #[test]
+    fn projection_extrapolates_worst_block() {
+        let mut f = flash(1000);
+        // 10 erases of one block over 1 simulated day.
+        for _ in 0..10 {
+            f.erase(BlockId(0)).expect("erase");
+        }
+        let life =
+            project_lifetime_years(&f, SimDuration::from_secs(86_400)).expect("projection exists");
+        // 990 remaining at 10/day = 99 days ≈ 0.271 years.
+        assert!((life - 99.0 / 365.0).abs() < 0.01, "life {life}");
+    }
+
+    #[test]
+    fn even_wear_projects_longer_than_hot_spot() {
+        let elapsed = SimDuration::from_secs(86_400);
+        let mut hot = flash(1000);
+        for _ in 0..16 {
+            hot.erase(BlockId(0)).expect("erase");
+        }
+        let mut even = flash(1000);
+        for b in 0..8u32 {
+            for _ in 0..2 {
+                even.erase(BlockId(b)).expect("erase");
+            }
+        }
+        let l_hot = project_lifetime_years(&hot, elapsed).expect("hot");
+        let l_even = project_lifetime_years(&even, elapsed).expect("even");
+        assert!(l_even > 5.0 * l_hot, "even {l_even} vs hot {l_hot}");
+    }
+
+    #[test]
+    fn worn_out_device_reports_zero() {
+        let mut f = flash(2);
+        f.erase(BlockId(0)).expect("1");
+        f.erase(BlockId(0)).expect("2");
+        let _ = f.erase(BlockId(0)).expect_err("worn");
+        assert_eq!(
+            project_lifetime_years(&f, SimDuration::from_secs(10)),
+            Some(0.0)
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! The two machine organisations under test.
+//!
+//! [`MobileComputer`] is the paper's design: battery-backed DRAM + flash,
+//! memory-resident FS, single-level-store VM. [`DiskComputer`] wraps the
+//! conventional FFS-over-disk baseline with the same battery accounting.
+//! Both implement [`TraceTarget`], so [`crate::run::run_trace`] drives
+//! them with identical workloads.
+
+use crate::config::MachineConfig;
+use ssmc_baseline::{BaselineConfig, DiskFs};
+use ssmc_device::{Battery, BatterySpec, BatteryState};
+use ssmc_memfs::{FileMap, FsError, MemFs, OpenMode};
+use ssmc_sim::{Clock, Energy, SharedClock, SimDuration, SimTime};
+use ssmc_storage::{RecoveryReport, StorageManager};
+use ssmc_trace::{FileId, FileOp, TraceTarget};
+use ssmc_vm::{launch, LaunchStats, Vm, VmConfig, VmError};
+use std::collections::HashMap;
+
+/// The solid-state mobile computer.
+#[derive(Debug)]
+pub struct MobileComputer {
+    cfg: MachineConfig,
+    clock: SharedClock,
+    fs: MemFs,
+    vm: Vm,
+    battery: Battery,
+    /// Trace file-id → (path, lazily opened fd).
+    trace_files: HashMap<FileId, u64>,
+    drained: Energy,
+    last_maintain: SimTime,
+}
+
+impl MobileComputer {
+    /// Builds the machine from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration or if formatting the fresh file
+    /// system fails (it cannot on an empty device).
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate();
+        let clock = Clock::shared();
+        let mut storage_cfg = cfg.storage.clone();
+        storage_cfg.dram_buffer_bytes = cfg.buffer_bytes();
+        let sm = StorageManager::new(storage_cfg, clock.clone());
+        let fs = MemFs::new(sm, cfg.write_policy).expect("fresh format cannot fail");
+        let vm = Vm::new(
+            VmConfig {
+                dram_frames: cfg.vm_frames(),
+                ..cfg.vm.clone()
+            },
+            clock.clone(),
+        );
+        let battery = Battery::new(cfg.battery.clone());
+        MobileComputer {
+            trace_files: HashMap::new(),
+            drained: Energy::ZERO,
+            last_maintain: clock.now(),
+            cfg,
+            clock,
+            fs,
+            vm,
+            battery,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// The file system.
+    pub fn fs(&mut self) -> &mut MemFs {
+        &mut self.fs
+    }
+
+    /// The virtual memory system.
+    pub fn vm_mut(&mut self) -> &mut Vm {
+        &mut self.vm
+    }
+
+    /// The battery.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Total energy consumed by all devices so far.
+    pub fn total_energy(&self) -> Energy {
+        let mut e = self.fs.storage().total_energy().total();
+        e += self.vm.dram().energy().total();
+        e
+    }
+
+    /// Periodic maintenance: charge idle power for elapsed time, drain the
+    /// battery, run storage maintenance, and destroy DRAM contents if the
+    /// battery has died.
+    pub fn maintain(&mut self) {
+        let now = self.clock.now();
+        let dt = now.since(self.last_maintain);
+        if dt > SimDuration::ZERO {
+            self.fs.storage_mut().charge_idle(dt, false);
+            self.vm.charge_idle(dt, false);
+            self.last_maintain = now;
+        }
+        let _ = self.fs.tick();
+        let total = self.total_energy();
+        let delta = Energy::from_nanojoules(total.as_nanojoules() - self.drained.as_nanojoules());
+        self.drained = total;
+        if self.battery.drain(delta) == BatteryState::Dead && self.fs.storage().dram().is_valid() {
+            // Battery death destroys DRAM contents.
+            self.fs.crash();
+        }
+    }
+
+    /// Injects a sudden total battery failure (drop, double fault) —
+    /// experiment T3.
+    pub fn battery_failure(&mut self) {
+        self.battery.fail_all();
+        self.fs.crash();
+    }
+
+    /// Swaps in a fresh primary pack and recovers the file system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery errors.
+    pub fn replace_battery_and_recover(
+        &mut self,
+    ) -> Result<(RecoveryReport, ssmc_memfs::FsckReport), FsError> {
+        self.battery.swap_primary();
+        self.trace_files.clear();
+        self.fs.recover()
+    }
+
+    /// Launches a program from the file system, XIP or demand-loaded.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Storage`] wrapping file-system lookup failures, or any
+    /// VM fault-handling error.
+    pub fn launch_app(&mut self, path: &str, xip: bool) -> Result<LaunchStats, VmError> {
+        let map: FileMap = self.fs.map_file(path).map_err(|e| match e {
+            FsError::Storage(s) => VmError::Storage(s),
+            _ => VmError::SegFault { addr: 0 },
+        })?;
+        let asid = self.vm.create_space();
+        launch(&mut self.vm, asid, &map, xip, self.fs.storage_mut())
+    }
+
+    /// Models steady-state execution of a launched program: `touches`
+    /// instruction fetches striding through its text.
+    ///
+    /// # Errors
+    ///
+    /// VM and storage errors.
+    pub fn run_app(
+        &mut self,
+        stats: &LaunchStats,
+        text_bytes: u64,
+        touches: u64,
+    ) -> Result<SimDuration, VmError> {
+        ssmc_vm::run_code(
+            &mut self.vm,
+            stats.asid,
+            stats.base,
+            text_bytes,
+            touches,
+            self.fs.storage_mut(),
+        )
+    }
+
+    // Convenience file API used by the examples and doc tests.
+
+    /// Creates a file, returning its descriptor.
+    ///
+    /// # Errors
+    ///
+    /// File-system errors.
+    pub fn fs_create(&mut self, path: &str) -> Result<u64, FsError> {
+        self.fs.create(path)
+    }
+
+    /// Writes at an offset.
+    ///
+    /// # Errors
+    ///
+    /// File-system errors.
+    pub fn fs_write(&mut self, fd: u64, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        self.fs.write(fd, offset, data)
+    }
+
+    /// Reads at an offset.
+    ///
+    /// # Errors
+    ///
+    /// File-system errors.
+    pub fn fs_read(&mut self, fd: u64, offset: u64, buf: &mut [u8]) -> Result<usize, FsError> {
+        self.fs.read(fd, offset, buf)
+    }
+
+    /// Syncs everything to flash.
+    ///
+    /// # Errors
+    ///
+    /// File-system errors.
+    pub fn fs_sync(&mut self) -> Result<(), FsError> {
+        self.fs.sync()
+    }
+
+    fn trace_path(file: FileId) -> String {
+        format!("/t{file}")
+    }
+
+    fn trace_fd(&mut self, file: FileId) -> Result<u64, FsError> {
+        if let Some(&fd) = self.trace_files.get(&file) {
+            return Ok(fd);
+        }
+        let fd = self.fs.open(&Self::trace_path(file), OpenMode::Write)?;
+        self.trace_files.insert(file, fd);
+        Ok(fd)
+    }
+}
+
+impl TraceTarget for MobileComputer {
+    fn apply(&mut self, op: &FileOp) -> Result<(), Box<dyn std::error::Error>> {
+        self.maintain();
+        match *op {
+            FileOp::Create { file } => {
+                let fd = self.fs.create(&Self::trace_path(file))?;
+                self.trace_files.insert(file, fd);
+            }
+            FileOp::Write { file, offset, len } => {
+                let fd = self.trace_fd(file)?;
+                let data = vec![0xA5u8; len as usize];
+                self.fs.write(fd, offset, &data)?;
+            }
+            FileOp::Read { file, offset, len } => {
+                let fd = self.trace_fd(file)?;
+                let mut buf = vec![0u8; len as usize];
+                self.fs.read(fd, offset, &mut buf)?;
+            }
+            FileOp::Truncate { file, len } => {
+                let fd = self.trace_fd(file)?;
+                self.fs.ftruncate(fd, len)?;
+            }
+            FileOp::Delete { file } => {
+                self.trace_files.remove(&file);
+                self.fs.unlink(&Self::trace_path(file))?;
+            }
+            FileOp::Sync => self.fs.sync()?,
+        }
+        Ok(())
+    }
+}
+
+/// The conventional machine: FFS over a mobile disk, with a battery.
+#[derive(Debug)]
+pub struct DiskComputer {
+    clock: SharedClock,
+    fs: DiskFs,
+    battery: Battery,
+    drained: Energy,
+}
+
+impl DiskComputer {
+    /// Builds the baseline machine.
+    pub fn new(cfg: BaselineConfig, battery: BatterySpec) -> Self {
+        let clock = Clock::shared();
+        let fs = DiskFs::new(cfg, clock.clone());
+        DiskComputer {
+            clock,
+            fs,
+            battery: Battery::new(battery),
+            drained: Energy::ZERO,
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// The disk file system.
+    pub fn fs(&mut self) -> &mut DiskFs {
+        &mut self.fs
+    }
+
+    /// The battery.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Total energy consumed so far.
+    pub fn total_energy(&self) -> Energy {
+        self.fs.total_energy().total()
+    }
+
+    /// Drains the battery by the energy consumed since the last call.
+    pub fn maintain(&mut self) {
+        let total = self.total_energy();
+        let delta = Energy::from_nanojoules(total.as_nanojoules() - self.drained.as_nanojoules());
+        self.drained = total;
+        self.battery.drain(delta);
+    }
+}
+
+impl TraceTarget for DiskComputer {
+    fn apply(&mut self, op: &FileOp) -> Result<(), Box<dyn std::error::Error>> {
+        self.fs.apply(op)?;
+        self.maintain();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmc_trace::{replay, GeneratorConfig, Workload};
+
+    #[test]
+    fn machine_runs_the_doc_example() {
+        let mut machine = MobileComputer::new(MachineConfig::small_notebook());
+        let fd = machine.fs_create("/notes.txt").expect("create");
+        machine
+            .fs_write(fd, 0, b"flash is the new disk")
+            .expect("write");
+        machine.fs_sync().expect("sync");
+        let mut buf = vec![0u8; 21];
+        machine.fs_read(fd, 0, &mut buf).expect("read");
+        assert_eq!(&buf, b"flash is the new disk");
+    }
+
+    #[test]
+    fn machine_replays_a_trace_without_errors() {
+        let mut machine = MobileComputer::new(MachineConfig::small_notebook());
+        let trace = GeneratorConfig::new(Workload::Office)
+            .with_ops(3_000)
+            .with_max_live_bytes(2 << 20)
+            .generate();
+        let clock = machine.clock().clone();
+        let report = replay(&trace, &mut machine, &clock);
+        assert_eq!(report.errors, 0, "machine must replay office cleanly");
+        assert!(machine.total_energy().as_joules() > 0.0);
+    }
+
+    #[test]
+    fn disk_computer_replays_the_same_trace() {
+        let mut machine = DiskComputer::new(BaselineConfig::default(), BatterySpec::default());
+        let trace = GeneratorConfig::new(Workload::Office)
+            .with_ops(3_000)
+            .with_max_live_bytes(2 << 20)
+            .generate();
+        let clock = machine.clock().clone();
+        let report = replay(&trace, &mut machine, &clock);
+        assert_eq!(report.errors, 0);
+        assert!(machine.total_energy().as_joules() > 0.0);
+    }
+
+    #[test]
+    fn battery_failure_and_recovery_round_trip() {
+        let mut machine = MobileComputer::new(MachineConfig::small_notebook());
+        let fd = machine.fs_create("/saveme").expect("create");
+        machine.fs_write(fd, 0, b"durable").expect("write");
+        machine.fs_sync().expect("sync");
+        machine.battery_failure();
+        assert_eq!(machine.battery().state(), BatteryState::Dead);
+        let (report, _fsck) = machine.replace_battery_and_recover().expect("recover");
+        assert_eq!(report.lost_pages, 0);
+        let fd = machine
+            .fs()
+            .open("/saveme", OpenMode::Read)
+            .expect("reopen");
+        let mut buf = [0u8; 7];
+        machine.fs_read(fd, 0, &mut buf).expect("read");
+        assert_eq!(&buf, b"durable");
+    }
+
+    #[test]
+    fn xip_launch_works_from_machine_level() {
+        let mut machine = MobileComputer::new(MachineConfig::small_notebook());
+        let fd = machine.fs_create("/app").expect("create");
+        machine
+            .fs_write(fd, 0, &vec![0xC3u8; 64 * 1024])
+            .expect("write");
+        machine.fs_sync().expect("sync");
+        let xip = machine.launch_app("/app", true).expect("xip");
+        let load = machine.launch_app("/app", false).expect("load");
+        assert!(xip.latency < load.latency);
+        assert_eq!(xip.dram_pages, 0);
+        assert!(load.dram_pages > 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Device error type.
+
+use crate::flash::BlockId;
+use core::fmt;
+
+/// Errors surfaced by the device models.
+///
+/// The flash semantics the paper asks the OS to hide are *enforced* here:
+/// programming a non-erased cell, erasing past the endurance limit, and
+/// addressing out of range are hard errors, so a storage manager that fails
+/// to hide them fails loudly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Address or length falls outside the device.
+    OutOfRange {
+        /// Offending byte address.
+        addr: u64,
+        /// Request length in bytes.
+        len: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// Attempt to program flash cells that have not been erased since they
+    /// were last programmed.
+    ProgramToUnerased {
+        /// Offending byte address.
+        addr: u64,
+    },
+    /// The erase block has exceeded its guaranteed erase/write cycles and
+    /// has been retired.
+    WornOut {
+        /// The worn-out block.
+        block: BlockId,
+        /// Erase cycles sustained before retirement.
+        cycles: u64,
+    },
+    /// Operation addressed a block previously retired for wear.
+    BadBlock {
+        /// The retired block.
+        block: BlockId,
+    },
+    /// A request crosses an erase-block boundary that the operation cannot
+    /// span (programs must stay within one block).
+    CrossesBlockBoundary {
+        /// Offending byte address.
+        addr: u64,
+        /// Request length in bytes.
+        len: u64,
+    },
+    /// The DRAM contents were lost to a battery failure and have not been
+    /// reinitialised.
+    ContentsLost,
+    /// The disk is spun down and the request was submitted with spin-up
+    /// disabled.
+    NotSpinning,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfRange {
+                addr,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "access [{addr}, {addr}+{len}) out of range for capacity {capacity}"
+            ),
+            DeviceError::ProgramToUnerased { addr } => {
+                write!(f, "program to unerased flash at {addr}")
+            }
+            DeviceError::WornOut { block, cycles } => {
+                write!(f, "flash block {} worn out after {cycles} cycles", block.0)
+            }
+            DeviceError::BadBlock { block } => {
+                write!(f, "flash block {} is retired (bad)", block.0)
+            }
+            DeviceError::CrossesBlockBoundary { addr, len } => {
+                write!(
+                    f,
+                    "program [{addr}, {addr}+{len}) crosses an erase-block boundary"
+                )
+            }
+            DeviceError::ContentsLost => write!(f, "DRAM contents lost to battery failure"),
+            DeviceError::NotSpinning => write!(f, "disk is spun down"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DeviceError::WornOut {
+            block: BlockId(3),
+            cycles: 100_000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("block 3"));
+        assert!(s.contains("100000"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(DeviceError::ContentsLost);
+        assert!(e.to_string().contains("battery"));
+    }
+}

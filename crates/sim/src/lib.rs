@@ -1,0 +1,34 @@
+//! Discrete-event simulation kernel for the `ssmc` workspace.
+//!
+//! Everything in the solid-state mobile computer reproduction is measured in
+//! *simulated* time and energy: device models charge latency to a [`Clock`]
+//! and energy to an [`EnergyLedger`], so experiments are deterministic given
+//! a seed and independent of host speed.
+//!
+//! The crate provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution instants and spans.
+//! * [`Clock`] — a shareable simulation clock.
+//! * [`EventQueue`] — a classic discrete-event priority queue.
+//! * [`SimRng`] — a seeded RNG with the distributions the workload
+//!   generators need (exponential, log-normal, Pareto, Zipf).
+//! * [`stats`] — online statistics, histograms, and time-weighted averages.
+//! * [`EnergyLedger`] — named per-component energy accounting.
+//! * [`series`] — labeled result series and text-table rendering used by the
+//!   experiment harness.
+
+pub mod clock;
+pub mod energy;
+pub mod events;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use clock::{Clock, SharedClock};
+pub use energy::{Energy, EnergyLedger, Power};
+pub use events::EventQueue;
+pub use rng::SimRng;
+pub use series::{Cell, Series, Table};
+pub use stats::{Histogram, OnlineStats, TimeWeighted};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,295 @@
+//! Deterministic random numbers and the distributions the workload
+//! generators need.
+//!
+//! Every stochastic component in the workspace draws from a [`SimRng`]
+//! seeded explicitly, so whole experiments replay bit-identically. The
+//! distribution helpers are implemented directly (inverse-CDF or
+//! Box-Muller) rather than pulling in `rand_distr`, keeping the dependency
+//! set to the approved list.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded pseudo-random number generator with distribution helpers.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    /// Cached second Box-Muller variate.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// workload stream its own deterministic substream.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.random::<u64>())
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed variate with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Inverse CDF; 1 - u avoids ln(0).
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Standard normal variate (Box-Muller with caching).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        let u1 = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.gaussian()
+    }
+
+    /// Log-normally distributed variate parameterised by the mean and sigma
+    /// of the *underlying* normal (i.e. `exp(N(mu, sigma))`).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto variate with scale `xm > 0` and shape `alpha > 0`; heavy
+    /// tails for small `alpha`.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        debug_assert!(xm > 0.0 && alpha > 0.0);
+        xm / (1.0 - self.f64()).powf(1.0 / alpha)
+    }
+
+    /// Picks an index weighted by `weights` (need not be normalised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive sum");
+        let mut x = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+/// A Zipf-distributed sampler over ranks `0..n` with exponent `s`.
+///
+/// # Examples
+///
+/// ```
+/// use ssmc_sim::rng::Zipf;
+/// use ssmc_sim::SimRng;
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = SimRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+///
+/// Rank 0 is the most popular item. Sampling is O(log n) via binary search
+/// on a precomputed CDF, which is exact (no rejection) and fast enough for
+/// the trace generators.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with skew exponent `s` (`s = 0` is
+    /// uniform; `s ≈ 1` is classic Zipf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is degenerate (cannot happen via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..len()`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.below(1_000_000), b.below(1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.below(1 << 30) == b.below(1 << 30))
+            .count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments_converge() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var was {var}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn weighted_matches_ratios() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.weighted(&[1.0, 2.0, 1.0])] += 1;
+        }
+        let mid = counts[1] as f64 / 30_000.0;
+        assert!((mid - 0.5).abs() < 0.02, "mid share was {mid}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Harmonic(100) ≈ 5.187; expected share of rank 0 ≈ 19 %.
+        let share = counts[0] as f64 / 50_000.0;
+        assert!((share - 0.193).abs() < 0.02, "share was {share}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let share = c as f64 / 50_000.0;
+            assert!((share - 0.1).abs() < 0.02, "share was {share}");
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = SimRng::seed_from_u64(5);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..64)
+            .filter(|_| c1.below(1 << 30) == c2.below(1 << 30))
+            .count();
+        assert!(same < 4);
+    }
+}

@@ -1,0 +1,240 @@
+//! Labeled result series and plain-text table rendering.
+//!
+//! The experiment harness regenerates each of the paper's tables/figures as
+//! a [`Table`] (fixed-width text, one row per parameter point) and, for
+//! figure-shaped results, a [`Series`] of `(x, y)` points per curve. Both
+//! serialise to JSON so EXPERIMENTS.md can be produced mechanically.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One curve in a figure: a label and a list of `(x, y)` points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label, e.g. `"cost-benefit GC"`.
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty curve with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Returns the y value at the largest x ≤ `x`, if any.
+    pub fn value_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .rfind(|(px, _)| *px <= x)
+            .map(|(_, y)| *y)
+    }
+
+    /// Returns true if y is monotonically non-increasing in x.
+    pub fn is_non_increasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-9)
+    }
+
+    /// Returns true if y is monotonically non-decreasing in x.
+    pub fn is_non_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9)
+    }
+}
+
+/// A table cell: either text or a number (formatted on render).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Cell {
+    /// Verbatim text.
+    Text(String),
+    /// A number rendered with dynamic precision.
+    Num(f64),
+    /// An integer rendered without decimals.
+    Int(i64),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(i) => format!("{i}"),
+            Cell::Num(x) => {
+                let a = x.abs();
+                if *x == 0.0 {
+                    "0".to_owned()
+                } else if !(0.001..100_000.0).contains(&a) {
+                    format!("{x:.3e}")
+                } else if a >= 100.0 {
+                    format!("{x:.1}")
+                } else if a >= 1.0 {
+                    format!("{x:.2}")
+                } else {
+                    format!("{x:.4}")
+                }
+            }
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Text(s.to_owned())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Text(s)
+    }
+}
+impl From<f64> for Cell {
+    fn from(x: f64) -> Cell {
+        Cell::Num(x)
+    }
+}
+impl From<i64> for Cell {
+    fn from(i: i64) -> Cell {
+        Cell::Int(i)
+    }
+}
+impl From<u64> for Cell {
+    fn from(i: u64) -> Cell {
+        Cell::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+impl From<usize> for Cell {
+    fn from(i: usize) -> Cell {
+        Cell::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+
+/// A titled fixed-width text table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title, e.g. `"T1: device characteristics"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row should match `headers` in length.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:<w$}  ", w = *w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &rendered {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{c:<w$}  ", w = *w);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_value_at_finds_floor_point() {
+        let mut s = Series::new("x");
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        s.push(4.0, 40.0);
+        assert_eq!(s.value_at(0.5), None);
+        assert_eq!(s.value_at(2.0), Some(20.0));
+        assert_eq!(s.value_at(3.0), Some(20.0));
+        assert_eq!(s.value_at(100.0), Some(40.0));
+    }
+
+    #[test]
+    fn series_monotonicity_checks() {
+        let mut s = Series::new("down");
+        s.push(0.0, 5.0);
+        s.push(1.0, 3.0);
+        s.push(2.0, 3.0);
+        assert!(s.is_non_increasing());
+        assert!(!s.is_non_decreasing());
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["flash".into(), Cell::Num(123.456)]);
+        t.row(vec!["dram-long-name".into(), Cell::Int(7)]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("flash"));
+        assert!(s.contains("dram-long-name"));
+        // Every data line is at least as wide as the widest cell.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn cell_number_formatting() {
+        assert_eq!(Cell::Num(0.0).render(), "0");
+        assert_eq!(Cell::Num(3.17159).render(), "3.17");
+        assert_eq!(Cell::Num(1234.5).render(), "1234.5");
+        assert_eq!(Cell::Num(0.25).render(), "0.2500");
+        assert!(Cell::Num(1e9).render().contains('e'));
+    }
+}

@@ -1,0 +1,252 @@
+//! The DRAM write buffer.
+//!
+//! Dirty pages live here until the flush policy writes them to flash. Two
+//! things make the buffer earn its keep (and produce F2's 40–50 % traffic
+//! reduction): *overwrite absorption* — rewriting a buffered page costs no
+//! flash traffic — and *death absorption* — deleting a file whose pages are
+//! still buffered cancels their writes entirely.
+//!
+//! Pages are indexed by last-write time so the flush policy can write back
+//! exactly the pages that have gone cold, keeping write-hot data in DRAM as
+//! §3.3 prescribes.
+
+use crate::map::PageId;
+use std::collections::{BTreeSet, HashMap};
+
+use ssmc_sim::SimTime;
+
+/// Bookkeeping for one buffered page.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    frame: usize,
+    /// Instant of the most recent write (LRW ordering key).
+    last_write: SimTime,
+    /// Instant the page first became dirty (data-at-risk age).
+    dirty_since: SimTime,
+}
+
+/// A fixed-capacity pool of page frames holding dirty pages.
+#[derive(Debug)]
+pub struct WriteBuffer {
+    capacity: usize,
+    free: Vec<usize>,
+    entries: HashMap<PageId, Entry>,
+    /// Last-write-time index for cold-first flushing.
+    lrw: BTreeSet<(SimTime, PageId)>,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer with `frames` page frames.
+    pub fn new(frames: usize) -> Self {
+        WriteBuffer {
+            capacity: frames,
+            free: (0..frames).rev().collect(),
+            entries: HashMap::new(),
+            lrw: BTreeSet::new(),
+        }
+    }
+
+    /// Total frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Dirty pages currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether every frame is occupied.
+    pub fn is_full(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Occupancy as a fraction of capacity.
+    pub fn fill_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.entries.len() as f64 / self.capacity as f64
+        }
+    }
+
+    /// Whether `page` is buffered.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    /// Frame index of a buffered page.
+    pub fn frame_of(&self, page: PageId) -> Option<usize> {
+        self.entries.get(&page).map(|e| e.frame)
+    }
+
+    /// Instant `page` first became dirty.
+    pub fn dirty_since(&self, page: PageId) -> Option<SimTime> {
+        self.entries.get(&page).map(|e| e.dirty_since)
+    }
+
+    /// Inserts a new dirty page, returning its frame, or `None` if the
+    /// buffer is full (caller must flush first).
+    pub fn insert(&mut self, page: PageId, now: SimTime) -> Option<usize> {
+        debug_assert!(!self.entries.contains_key(&page), "page already buffered");
+        let frame = self.free.pop()?;
+        self.entries.insert(
+            page,
+            Entry {
+                frame,
+                last_write: now,
+                dirty_since: now,
+            },
+        );
+        self.lrw.insert((now, page));
+        Some(frame)
+    }
+
+    /// Records an overwrite of an already-buffered page (absorption),
+    /// refreshing its LRW position. Returns the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not buffered.
+    pub fn touch(&mut self, page: PageId, now: SimTime) -> usize {
+        let e = self
+            .entries
+            .get_mut(&page)
+            .expect("touch of unbuffered page");
+        let removed = self.lrw.remove(&(e.last_write, page));
+        debug_assert!(removed);
+        e.last_write = now;
+        self.lrw.insert((now, page));
+        e.frame
+    }
+
+    /// Removes a page (flushed or cancelled), returning its frame to the
+    /// free pool.
+    pub fn remove(&mut self, page: PageId) -> Option<usize> {
+        let e = self.entries.remove(&page)?;
+        let removed = self.lrw.remove(&(e.last_write, page));
+        debug_assert!(removed);
+        self.free.push(e.frame);
+        Some(e.frame)
+    }
+
+    /// The coldest page (least recently written), if any.
+    pub fn coldest(&self) -> Option<PageId> {
+        self.lrw.iter().next().map(|(_, p)| *p)
+    }
+
+    /// Pages whose last write is at or before `cutoff`, coldest first,
+    /// up to `limit`.
+    pub fn colder_than(&self, cutoff: SimTime, limit: usize) -> Vec<PageId> {
+        self.lrw
+            .iter()
+            .take_while(|(t, _)| *t <= cutoff)
+            .take(limit)
+            .map(|(_, p)| *p)
+            .collect()
+    }
+
+    /// Up to `k` coldest pages regardless of age.
+    pub fn coldest_k(&self, k: usize) -> Vec<PageId> {
+        self.lrw.iter().take(k).map(|(_, p)| *p).collect()
+    }
+
+    /// All buffered pages (arbitrary order).
+    pub fn pages(&self) -> Vec<PageId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Drops every entry without returning frames individually (battery
+    /// death: the data is gone anyway). The buffer is reusable afterwards.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.lrw.clear();
+        self.free = (0..self.capacity).rev().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmc_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn insert_fills_frames_until_full() {
+        let mut b = WriteBuffer::new(2);
+        assert!(b.insert(1, t(0)).is_some());
+        assert!(b.insert(2, t(1)).is_some());
+        assert!(b.is_full());
+        assert!(b.insert(3, t(2)).is_none());
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn remove_recycles_frames() {
+        let mut b = WriteBuffer::new(1);
+        let f1 = b.insert(1, t(0)).expect("fits");
+        assert_eq!(b.remove(1), Some(f1));
+        let f2 = b.insert(2, t(1)).expect("fits after remove");
+        assert_eq!(f1, f2);
+        assert!(b.remove(99).is_none());
+    }
+
+    #[test]
+    fn lrw_order_tracks_touches() {
+        let mut b = WriteBuffer::new(3);
+        b.insert(1, t(0));
+        b.insert(2, t(1));
+        b.insert(3, t(2));
+        assert_eq!(b.coldest(), Some(1));
+        // Rewriting page 1 makes page 2 the coldest.
+        b.touch(1, t(3));
+        assert_eq!(b.coldest(), Some(2));
+        assert_eq!(b.coldest_k(2), vec![2, 3]);
+    }
+
+    #[test]
+    fn colder_than_respects_cutoff_and_limit() {
+        let mut b = WriteBuffer::new(4);
+        for (p, s) in [(1, 0), (2, 10), (3, 20), (4, 30)] {
+            b.insert(p, t(s));
+        }
+        assert_eq!(b.colder_than(t(20), 10), vec![1, 2, 3]);
+        assert_eq!(b.colder_than(t(20), 2), vec![1, 2]);
+        assert!(b.colder_than(SimTime::ZERO, 10).len() <= 1);
+    }
+
+    #[test]
+    fn dirty_since_survives_touches() {
+        let mut b = WriteBuffer::new(2);
+        b.insert(5, t(1));
+        b.touch(5, t(9));
+        assert_eq!(b.dirty_since(5), Some(t(1)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut b = WriteBuffer::new(2);
+        b.insert(1, t(0));
+        b.insert(2, t(0));
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.is_full());
+        assert!(b.insert(3, t(1)).is_some());
+    }
+
+    #[test]
+    fn fill_fraction_is_sane() {
+        let mut b = WriteBuffer::new(4);
+        assert_eq!(b.fill_fraction(), 0.0);
+        b.insert(1, t(0));
+        assert!((b.fill_fraction() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! Storage-manager error type.
+
+use core::fmt;
+use ssmc_device::DeviceError;
+
+/// Errors surfaced by the storage manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// No flash space left even after garbage collection: the live data
+    /// set exceeds the configured maximum utilisation.
+    NoSpace,
+    /// The machine is in the crashed state (battery died) and has not been
+    /// recovered yet.
+    Crashed,
+    /// An underlying device rejected an operation. Seeing this escape the
+    /// manager means a policy bug — the manager exists to hide these.
+    Device(DeviceError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSpace => write!(f, "flash is full (live data exceeds capacity)"),
+            StorageError::Crashed => write!(f, "storage manager is crashed; recover first"),
+            StorageError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for StorageError {
+    fn from(e: DeviceError) -> Self {
+        StorageError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_device_errors() {
+        let e: StorageError = DeviceError::ContentsLost.into();
+        assert!(matches!(e, StorageError::Device(_)));
+        assert!(e.to_string().contains("device error"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error as _;
+        let e: StorageError = DeviceError::ContentsLost.into();
+        assert!(e.source().is_some());
+        assert!(StorageError::NoSpace.source().is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! The logical-page map.
+//!
+//! Logical pages are the currency between the file/VM systems and the
+//! storage manager. The map records where each page's current copy lives:
+//! a DRAM write-buffer frame, a flash address, or nowhere yet (a hole that
+//! reads as zeros). The map itself lives in DRAM and is rebuilt by
+//! [`crate::recovery`] after a battery failure.
+
+use std::collections::HashMap;
+
+/// A logical page number.
+pub type PageId = u64;
+
+/// Where a page's authoritative copy currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// Dirty in the DRAM write buffer, at this frame index.
+    Dram(usize),
+    /// Stable in flash at this byte address.
+    Flash(u64),
+}
+
+/// The in-DRAM page map with a global write sequence.
+#[derive(Debug, Default)]
+pub struct PageMap {
+    entries: HashMap<PageId, Location>,
+    seq: u64,
+}
+
+impl PageMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        PageMap::default()
+    }
+
+    /// Looks up a page.
+    pub fn get(&self, page: PageId) -> Option<Location> {
+        self.entries.get(&page).copied()
+    }
+
+    /// Installs or replaces a page's location.
+    pub fn set(&mut self, page: PageId, loc: Location) {
+        self.entries.insert(page, loc);
+    }
+
+    /// Removes a page, returning its old location.
+    pub fn remove(&mut self, page: PageId) -> Option<Location> {
+        self.entries.remove(&page)
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Next value of the global write sequence (monotonic; identifies the
+    /// newest copy of a page during recovery).
+    pub fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Highest sequence issued so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Restores the sequence counter after recovery.
+    pub fn restore_seq(&mut self, seq: u64) {
+        self.seq = self.seq.max(seq);
+    }
+
+    /// Drops every entry (battery death).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over `(page, location)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, Location)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Pages currently resident in flash.
+    pub fn flash_pages(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|l| matches!(l, Location::Flash(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut m = PageMap::new();
+        assert!(m.get(7).is_none());
+        m.set(7, Location::Dram(3));
+        assert_eq!(m.get(7), Some(Location::Dram(3)));
+        m.set(7, Location::Flash(4096));
+        assert_eq!(m.get(7), Some(Location::Flash(4096)));
+        assert_eq!(m.remove(7), Some(Location::Flash(4096)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn sequence_is_monotonic() {
+        let mut m = PageMap::new();
+        let a = m.next_seq();
+        let b = m.next_seq();
+        assert!(b > a);
+        m.restore_seq(100);
+        assert!(m.next_seq() > 100);
+        // Restoring backwards never regresses.
+        m.restore_seq(5);
+        assert!(m.next_seq() > 100);
+    }
+
+    #[test]
+    fn flash_pages_counts_only_flash() {
+        let mut m = PageMap::new();
+        m.set(1, Location::Dram(0));
+        m.set(2, Location::Flash(0));
+        m.set(3, Location::Flash(512));
+        assert_eq!(m.flash_pages(), 2);
+        assert_eq!(m.len(), 3);
+    }
+}

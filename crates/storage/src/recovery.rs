@@ -1,0 +1,54 @@
+//! Crash-recovery reporting.
+//!
+//! §3.1 argues battery-backed DRAM can hold file data "with appropriate
+//! care to ensure that an untimely crash is unlikely to corrupt data"
+//! [1, 2]. The storage manager's recovery path rebuilds the page map from
+//! the self-describing flash slot headers (plus the optional checkpoint),
+//! and this report quantifies exactly what a battery death cost —
+//! experiment T3's dependent variable.
+
+use ssmc_sim::SimDuration;
+
+/// Outcome of recovering from a battery failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Pages recovered live from flash.
+    pub recovered_pages: u64,
+    /// Dirty pages whose *only* copy was in DRAM — created and never
+    /// flushed; their data is gone.
+    pub lost_pages: u64,
+    /// Dirty pages that reverted to an older flushed version.
+    pub reverted_pages: u64,
+    /// Pages that came back although they had been deleted (their
+    /// tombstones were still buffered in DRAM at the crash).
+    pub resurrected_pages: u64,
+    /// Simulated time the recovery scan took.
+    pub duration: SimDuration,
+    /// Whether a checkpoint bounded the scan.
+    pub used_checkpoint: bool,
+}
+
+impl RecoveryReport {
+    /// Total dirty pages affected by the crash.
+    pub fn pages_at_risk(&self) -> u64 {
+        self.lost_pages + self.reverted_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_at_risk_sums_loss_classes() {
+        let r = RecoveryReport {
+            recovered_pages: 100,
+            lost_pages: 3,
+            reverted_pages: 4,
+            resurrected_pages: 1,
+            duration: SimDuration::from_millis(10),
+            used_checkpoint: true,
+        };
+        assert_eq!(r.pages_at_risk(), 7);
+    }
+}

@@ -1,0 +1,690 @@
+//! Flash segment table for the log-structured layout.
+//!
+//! Each segment is one erase block, divided into page-sized slots. Every
+//! data slot carries a small header (logical page id + global write
+//! sequence) programmed together with the data, the way JFFS-style flash
+//! file systems make every node self-describing — that is what makes
+//! recovery after battery death possible without any central table.
+//! Deletions are made durable by *tombstone slots*: page-sized log entries
+//! batching (page, seq) deletion records, so a deleted file cannot
+//! resurrect from a stale copy during recovery.
+//!
+//! Blocks that exceed their erase endurance are *retired*: the segment
+//! drops out of rotation and capacity shrinks, mirroring how the device
+//! model fails the block.
+
+use crate::map::PageId;
+use ssmc_sim::SimTime;
+use std::collections::HashMap;
+
+/// Header programmed with each data slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotMeta {
+    /// The logical page stored in the slot.
+    pub page: PageId,
+    /// Global write sequence at the time of the program; recovery keeps
+    /// the highest sequence per page.
+    pub seq: u64,
+}
+
+/// A slot's lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Slot {
+    /// Never programmed since the last erase.
+    Empty,
+    /// Holds the current copy of a page.
+    Live(SlotMeta),
+    /// Holds a stale copy (page rewritten or deleted); reclaimed by GC.
+    Dead(SlotMeta),
+    /// Holds batched deletion tombstones.
+    Tomb(Vec<(PageId, u64)>),
+}
+
+/// A segment's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegState {
+    /// Erased and ready to open.
+    Free,
+    /// Accepting appends.
+    Open,
+    /// Full (or closed early); GC candidate.
+    Closed,
+    /// Being erased; unusable until the erase completes.
+    ErasePending,
+    /// Block worn out; permanently out of rotation.
+    Retired,
+}
+
+/// Per-segment bookkeeping.
+#[derive(Debug)]
+pub struct Segment {
+    /// Lifecycle state.
+    pub state: SegState,
+    /// One entry per slot.
+    pub slots: Vec<Slot>,
+    /// Next slot to append into.
+    pub next_slot: usize,
+    /// Live slot count (tombstone slots are never "live").
+    pub live: usize,
+    /// Most recent append instant (the "age" input to cost-benefit GC).
+    pub youngest_write: SimTime,
+    /// Deletion tombstones durably recorded in this segment.
+    pub tombstones: Vec<(PageId, u64)>,
+}
+
+impl Segment {
+    fn new(slots: usize) -> Self {
+        Segment {
+            state: SegState::Free,
+            slots: vec![Slot::Empty; slots],
+            next_slot: 0,
+            live: 0,
+            youngest_write: SimTime::ZERO,
+            tombstones: Vec::new(),
+        }
+    }
+
+    /// Whether every slot has been programmed.
+    pub fn is_full(&self) -> bool {
+        self.next_slot >= self.slots.len()
+    }
+
+    /// Slots still available for appends.
+    pub fn slots_free(&self) -> usize {
+        self.slots.len() - self.next_slot
+    }
+
+    /// Fraction of slots holding live pages.
+    pub fn utilization(&self) -> f64 {
+        if self.slots.is_empty() {
+            0.0
+        } else {
+            self.live as f64 / self.slots.len() as f64
+        }
+    }
+
+    /// Live slot metas, with their slot indices.
+    pub fn live_slots(&self) -> Vec<(usize, SlotMeta)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Live(m) => Some((i, *m)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The table of all log segments plus free/erase bookkeeping.
+#[derive(Debug)]
+pub struct SegmentTable {
+    segments: Vec<Segment>,
+    /// Byte address of segment 0's erase block.
+    base_addr: u64,
+    block_bytes: u64,
+    page_size: u64,
+    /// Erases in flight: (completion instant, segment index).
+    pending_erase: Vec<(SimTime, usize)>,
+    /// Stale (dead) copies per page, used to decide when a tombstone can
+    /// finally be dropped.
+    dead_copies: HashMap<PageId, u32>,
+}
+
+impl SegmentTable {
+    /// Creates a table of `count` segments of `slots_per_segment` slots
+    /// each, starting at flash byte `base_addr`.
+    pub fn new(
+        count: usize,
+        slots_per_segment: usize,
+        base_addr: u64,
+        block_bytes: u64,
+        page_size: u64,
+    ) -> Self {
+        assert!(
+            slots_per_segment as u64 * page_size <= block_bytes,
+            "slots exceed the erase block"
+        );
+        SegmentTable {
+            segments: (0..count)
+                .map(|_| Segment::new(slots_per_segment))
+                .collect(),
+            base_addr,
+            block_bytes,
+            page_size,
+            pending_erase: Vec::new(),
+            dead_copies: HashMap::new(),
+        }
+    }
+
+    /// Number of segments (including retired ones).
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the table has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Immutable access to a segment.
+    pub fn seg(&self, idx: usize) -> &Segment {
+        &self.segments[idx]
+    }
+
+    /// Mutable access to a segment.
+    pub fn seg_mut(&mut self, idx: usize) -> &mut Segment {
+        &mut self.segments[idx]
+    }
+
+    /// Indices of free segments.
+    pub fn free_segments(&self) -> Vec<usize> {
+        self.by_state(SegState::Free)
+    }
+
+    /// Indices of closed segments (GC candidates).
+    pub fn closed_segments(&self) -> Vec<usize> {
+        self.by_state(SegState::Closed)
+    }
+
+    /// Indices of retired segments.
+    pub fn retired_segments(&self) -> Vec<usize> {
+        self.by_state(SegState::Retired)
+    }
+
+    fn by_state(&self, state: SegState) -> Vec<usize> {
+        self.segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == state)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total live pages across all segments.
+    pub fn live_pages(&self) -> usize {
+        self.segments.iter().map(|s| s.live).sum()
+    }
+
+    /// Total slot capacity across non-retired segments.
+    pub fn usable_slots(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| s.state != SegState::Retired)
+            .map(|s| s.slots.len())
+            .sum()
+    }
+
+    /// The erase-block byte address of a segment.
+    pub fn block_addr(&self, seg: usize) -> u64 {
+        self.base_addr + seg as u64 * self.block_bytes
+    }
+
+    /// Flash byte address of a slot.
+    pub fn slot_addr(&self, seg: usize, slot: usize) -> u64 {
+        self.block_addr(seg) + slot as u64 * self.page_size
+    }
+
+    /// Inverse of [`SegmentTable::slot_addr`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` lies below the segment area.
+    pub fn locate(&self, addr: u64) -> (usize, usize) {
+        assert!(addr >= self.base_addr, "address below segment area");
+        let rel = addr - self.base_addr;
+        let seg = (rel / self.block_bytes) as usize;
+        let slot = (rel % self.block_bytes / self.page_size) as usize;
+        (seg, slot)
+    }
+
+    /// Opens a free segment for appends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not free.
+    pub fn open(&mut self, seg: usize) {
+        let s = &mut self.segments[seg];
+        assert_eq!(s.state, SegState::Free, "open of non-free segment");
+        s.state = SegState::Open;
+        s.next_slot = 0;
+        s.live = 0;
+        s.tombstones.clear();
+        for slot in &mut s.slots {
+            *slot = Slot::Empty;
+        }
+    }
+
+    /// Appends a page to an open segment, returning the slot index used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not open or is full.
+    pub fn append(&mut self, seg: usize, meta: SlotMeta, now: SimTime) -> usize {
+        let s = &mut self.segments[seg];
+        assert_eq!(s.state, SegState::Open, "append to non-open segment");
+        assert!(!s.is_full(), "append to full segment");
+        let slot = s.next_slot;
+        s.slots[slot] = Slot::Live(meta);
+        s.next_slot += 1;
+        s.live += 1;
+        s.youngest_write = now;
+        slot
+    }
+
+    /// Appends a tombstone slot carrying deletion `entries`, returning the
+    /// slot index used. Tombstone slots never count as live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not open or is full.
+    pub fn append_tomb(&mut self, seg: usize, entries: Vec<(PageId, u64)>, now: SimTime) -> usize {
+        let s = &mut self.segments[seg];
+        assert_eq!(s.state, SegState::Open, "append to non-open segment");
+        assert!(!s.is_full(), "append to full segment");
+        let slot = s.next_slot;
+        s.tombstones.extend(entries.iter().copied());
+        s.slots[slot] = Slot::Tomb(entries);
+        s.next_slot += 1;
+        s.youngest_write = now;
+        slot
+    }
+
+    /// Marks the slot at `addr` dead (its page was rewritten or deleted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live.
+    pub fn kill_at(&mut self, addr: u64) {
+        let (seg, slot) = self.locate(addr);
+        let s = &mut self.segments[seg];
+        match s.slots[slot] {
+            Slot::Live(m) => {
+                s.slots[slot] = Slot::Dead(m);
+                s.live -= 1;
+                *self.dead_copies.entry(m.page).or_insert(0) += 1;
+            }
+            _ => panic!("kill of non-live slot {seg}/{slot}"),
+        }
+    }
+
+    /// Whether any stale copy of `page` survives on flash (a tombstone for
+    /// it must then survive too).
+    pub fn has_dead_copies(&self, page: PageId) -> bool {
+        self.dead_copies.get(&page).is_some_and(|&n| n > 0)
+    }
+
+    /// Closes an open segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not open.
+    pub fn close(&mut self, seg: usize) {
+        let s = &mut self.segments[seg];
+        assert_eq!(s.state, SegState::Open, "close of non-open segment");
+        s.state = SegState::Closed;
+    }
+
+    /// Common bookkeeping for removing a closed, fully dead segment from
+    /// circulation: forgets its stale copies and returns the tombstones
+    /// that must be re-logged because stale copies of their pages still
+    /// exist elsewhere.
+    fn release_metadata(&mut self, seg: usize) -> Vec<(PageId, u64)> {
+        assert_eq!(
+            self.segments[seg].state,
+            SegState::Closed,
+            "release of non-closed segment"
+        );
+        assert_eq!(
+            self.segments[seg].live, 0,
+            "release of segment with live pages"
+        );
+        let dead_pages: Vec<PageId> = self.segments[seg]
+            .slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Dead(m) => Some(m.page),
+                _ => None,
+            })
+            .collect();
+        for page in dead_pages {
+            if let Some(n) = self.dead_copies.get_mut(&page) {
+                *n -= 1;
+                if *n == 0 {
+                    self.dead_copies.remove(&page);
+                }
+            }
+        }
+        let tombs: Vec<(PageId, u64)> = core::mem::take(&mut self.segments[seg].tombstones);
+        tombs
+            .into_iter()
+            .filter(|(p, _)| self.dead_copies.get(p).is_some_and(|&n| n > 0))
+            .collect()
+    }
+
+    /// Begins erasing a closed segment; it becomes usable again once
+    /// [`SegmentTable::reap_erased`] is called past `completes`. Returns
+    /// tombstones to carry forward.
+    pub fn begin_erase(&mut self, seg: usize, completes: SimTime) -> Vec<(PageId, u64)> {
+        let carried = self.release_metadata(seg);
+        self.segments[seg].state = SegState::ErasePending;
+        self.pending_erase.push((completes, seg));
+        carried
+    }
+
+    /// Permanently retires a worn-out closed segment. Returns tombstones
+    /// to carry forward.
+    pub fn retire(&mut self, seg: usize) -> Vec<(PageId, u64)> {
+        let carried = self.release_metadata(seg);
+        self.segments[seg].state = SegState::Retired;
+        carried
+    }
+
+    /// Moves segments whose erase has completed by `now` back to the free
+    /// state, returning their indices.
+    pub fn reap_erased(&mut self, now: SimTime) -> Vec<usize> {
+        let mut done = Vec::new();
+        self.pending_erase.retain(|&(at, seg)| {
+            if at <= now {
+                done.push(seg);
+                false
+            } else {
+                true
+            }
+        });
+        for &seg in &done {
+            let s = &mut self.segments[seg];
+            s.state = SegState::Free;
+            s.next_slot = 0;
+            s.live = 0;
+            for slot in &mut s.slots {
+                *slot = Slot::Empty;
+            }
+        }
+        done
+    }
+
+    /// Rebuilds liveness from the on-flash headers after a battery death.
+    ///
+    /// For every page the highest-sequence record wins, whether it is a
+    /// data slot or a deletion tombstone. Data slots that lose become
+    /// `Dead`; winning data slots become `Live`. Segments that were mid-
+    /// erase at the crash are treated as erased. Returns the map of live
+    /// pages to their flash slot addresses plus the highest sequence seen
+    /// (to restore the global write sequence).
+    pub fn recover_liveness(&mut self) -> (HashMap<PageId, u64>, u64) {
+        // Interrupted erases complete conceptually at recovery time: the
+        // block contents are indeterminate, so treat them as erased.
+        let pending: Vec<usize> = self.pending_erase.drain(..).map(|(_, s)| s).collect();
+        for seg in pending {
+            let s = &mut self.segments[seg];
+            s.state = SegState::Free;
+            s.next_slot = 0;
+            s.live = 0;
+            s.tombstones.clear();
+            for slot in &mut s.slots {
+                *slot = Slot::Empty;
+            }
+        }
+
+        // Pass 1: find the winning sequence per page.
+        #[derive(Clone, Copy)]
+        struct Winner {
+            seq: u64,
+            slot: Option<(usize, usize)>,
+        }
+        let mut winners: HashMap<PageId, Winner> = HashMap::new();
+        let mut max_seq = 0u64;
+        for (si, s) in self.segments.iter().enumerate() {
+            if matches!(s.state, SegState::Free | SegState::Retired) {
+                continue;
+            }
+            for (wi, slot) in s.slots.iter().enumerate() {
+                match slot {
+                    Slot::Live(m) | Slot::Dead(m) => {
+                        max_seq = max_seq.max(m.seq);
+                        let w = winners.entry(m.page).or_insert(Winner {
+                            seq: m.seq,
+                            slot: Some((si, wi)),
+                        });
+                        if m.seq >= w.seq {
+                            *w = Winner {
+                                seq: m.seq,
+                                slot: Some((si, wi)),
+                            };
+                        }
+                    }
+                    Slot::Tomb(entries) => {
+                        for &(page, seq) in entries {
+                            max_seq = max_seq.max(seq);
+                            let w = winners.entry(page).or_insert(Winner { seq, slot: None });
+                            if seq >= w.seq {
+                                *w = Winner { seq, slot: None };
+                            }
+                        }
+                    }
+                    Slot::Empty => {}
+                }
+            }
+        }
+
+        // Pass 2: rewrite liveness and dead-copy accounting to match.
+        self.dead_copies.clear();
+        let mut live_map = HashMap::new();
+        for (si, s) in self.segments.iter_mut().enumerate() {
+            s.live = 0;
+            if matches!(s.state, SegState::Free | SegState::Retired) {
+                continue;
+            }
+            for (wi, slot) in s.slots.iter_mut().enumerate() {
+                let meta = match slot {
+                    Slot::Live(m) | Slot::Dead(m) => *m,
+                    _ => continue,
+                };
+                let is_winner = winners
+                    .get(&meta.page)
+                    .is_some_and(|w| w.slot == Some((si, wi)));
+                if is_winner {
+                    *slot = Slot::Live(meta);
+                    s.live += 1;
+                } else {
+                    *slot = Slot::Dead(meta);
+                    *self.dead_copies.entry(meta.page).or_insert(0) += 1;
+                }
+            }
+        }
+        for (page, w) in &winners {
+            if let Some((si, wi)) = w.slot {
+                live_map.insert(*page, self.slot_addr(si, wi));
+            }
+        }
+        (live_map, max_seq)
+    }
+
+    /// Total slots programmed (headers recovery would have to scan).
+    pub fn programmed_slots(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| !matches!(s.state, SegState::Free))
+            .map(|s| s.next_slot)
+            .sum()
+    }
+
+    /// Earliest pending-erase completion, if any.
+    pub fn next_erase_completion(&self) -> Option<SimTime> {
+        self.pending_erase.iter().map(|&(t, _)| t).min()
+    }
+
+    /// Number of erases in flight.
+    pub fn pending_erases(&self) -> usize {
+        self.pending_erase.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmc_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn table() -> SegmentTable {
+        // 4 segments, 8 slots, blocks of 4 KiB with 512-byte pages,
+        // starting at address 8192.
+        SegmentTable::new(4, 8, 8192, 4096, 512)
+    }
+
+    #[test]
+    fn addresses_round_trip() {
+        let tb = table();
+        for seg in 0..4 {
+            for slot in 0..8 {
+                let addr = tb.slot_addr(seg, slot);
+                assert_eq!(tb.locate(addr), (seg, slot));
+            }
+        }
+        assert_eq!(tb.slot_addr(0, 0), 8192);
+        assert_eq!(tb.slot_addr(1, 2), 8192 + 4096 + 1024);
+    }
+
+    #[test]
+    fn open_append_close_lifecycle() {
+        let mut tb = table();
+        assert_eq!(tb.free_segments(), vec![0, 1, 2, 3]);
+        tb.open(0);
+        let slot = tb.append(0, SlotMeta { page: 42, seq: 1 }, t(1));
+        assert_eq!(slot, 0);
+        assert_eq!(tb.seg(0).live, 1);
+        assert_eq!(tb.seg(0).youngest_write, t(1));
+        for i in 1..8u64 {
+            tb.append(
+                0,
+                SlotMeta {
+                    page: 100 + i,
+                    seq: 1 + i,
+                },
+                t(2),
+            );
+        }
+        assert!(tb.seg(0).is_full());
+        assert_eq!(tb.seg(0).slots_free(), 0);
+        tb.close(0);
+        assert_eq!(tb.closed_segments(), vec![0]);
+        assert_eq!(tb.live_pages(), 8);
+    }
+
+    #[test]
+    fn kill_marks_dead_and_tracks_copies() {
+        let mut tb = table();
+        tb.open(0);
+        let slot = tb.append(0, SlotMeta { page: 7, seq: 1 }, t(0));
+        let addr = tb.slot_addr(0, slot);
+        assert!(!tb.has_dead_copies(7));
+        tb.kill_at(addr);
+        assert_eq!(tb.seg(0).live, 0);
+        assert!(tb.has_dead_copies(7));
+    }
+
+    #[test]
+    fn tomb_slots_consume_space_but_not_liveness() {
+        let mut tb = table();
+        tb.open(0);
+        let slot = tb.append_tomb(0, vec![(9, 5), (10, 6)], t(1));
+        assert_eq!(slot, 0);
+        assert_eq!(tb.seg(0).live, 0);
+        assert_eq!(tb.seg(0).next_slot, 1);
+        assert_eq!(tb.seg(0).tombstones, vec![(9, 5), (10, 6)]);
+    }
+
+    #[test]
+    fn erase_lifecycle_reaps_on_time() {
+        let mut tb = table();
+        tb.open(0);
+        let s = tb.append(0, SlotMeta { page: 1, seq: 1 }, t(0));
+        tb.kill_at(tb.slot_addr(0, s));
+        tb.close(0);
+        let carried = tb.begin_erase(0, t(5));
+        assert!(carried.is_empty());
+        assert_eq!(tb.pending_erases(), 1);
+        assert!(tb.reap_erased(t(4)).is_empty());
+        assert_eq!(tb.reap_erased(t(5)), vec![0]);
+        assert_eq!(tb.seg(0).state, SegState::Free);
+        assert!(!tb.has_dead_copies(1));
+    }
+
+    #[test]
+    fn retire_shrinks_usable_capacity() {
+        let mut tb = table();
+        let before = tb.usable_slots();
+        tb.open(0);
+        tb.close(0);
+        tb.retire(0);
+        assert_eq!(tb.retired_segments(), vec![0]);
+        assert_eq!(tb.usable_slots(), before - 8);
+        // Retired segments never return to the free list.
+        assert_eq!(tb.free_segments(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tombstones_carried_only_while_stale_copies_remain() {
+        let mut tb = table();
+        // Page 9's stale copy lives in segment 1; its tombstone was logged
+        // in segment 0.
+        tb.open(1);
+        let s = tb.append(1, SlotMeta { page: 9, seq: 1 }, t(0));
+        tb.kill_at(tb.slot_addr(1, s));
+        tb.open(0);
+        tb.append_tomb(0, vec![(9, 2)], t(1));
+        tb.close(0);
+        let carried = tb.begin_erase(0, t(1));
+        assert_eq!(carried, vec![(9, 2)]);
+
+        // Once segment 1 (the stale copy) is erased too, a fresh tombstone
+        // can be dropped with its segment.
+        tb.close(1);
+        tb.begin_erase(1, t(2));
+        tb.reap_erased(t(3));
+        tb.open(2);
+        tb.append_tomb(2, vec![(9, 3)], t(4));
+        tb.close(2);
+        let carried = tb.begin_erase(2, t(4));
+        assert!(carried.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "live pages")]
+    fn erasing_live_segment_panics() {
+        let mut tb = table();
+        tb.open(0);
+        tb.append(0, SlotMeta { page: 1, seq: 1 }, t(0));
+        tb.close(0);
+        tb.begin_erase(0, t(1));
+    }
+
+    #[test]
+    fn live_slots_lists_only_live() {
+        let mut tb = table();
+        tb.open(0);
+        tb.append(0, SlotMeta { page: 1, seq: 1 }, t(0));
+        let s2 = tb.append(0, SlotMeta { page: 2, seq: 2 }, t(0));
+        tb.kill_at(tb.slot_addr(0, s2));
+        tb.append_tomb(0, vec![(2, 3)], t(0));
+        let live = tb.seg(0).live_slots();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].1.page, 1);
+    }
+
+    #[test]
+    fn next_erase_completion_is_min() {
+        let mut tb = table();
+        for seg in [0, 1] {
+            tb.open(seg);
+            tb.close(seg);
+        }
+        tb.begin_erase(1, t(10));
+        tb.begin_erase(0, t(3));
+        assert_eq!(tb.next_erase_completion(), Some(t(3)));
+    }
+}

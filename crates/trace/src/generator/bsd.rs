@@ -1,0 +1,34 @@
+//! General time-sharing profile, calibrated to the published findings of
+//! the BSD [8] and Sprite [3] trace studies: small median file size with a
+//! heavy tail, reads outnumbering writes, mostly whole-file sequential
+//! access, and most new data dying young.
+
+use super::{OpWeights, Profile};
+use crate::lifetime::LifetimeModel;
+
+pub(crate) fn profile() -> Profile {
+    Profile {
+        name: "bsd",
+        weights: OpWeights {
+            create: 0.20,
+            overwrite: 0.14,
+            read: 0.55,
+            delete: 0.05,
+            truncate: 0.02,
+            sync: 0.004,
+        },
+        // Median ≈ 3 KB, heavy-tailed: most files small, most bytes in
+        // large files.
+        size_mu: 8.0,
+        size_sigma: 1.6,
+        size_min: 256,
+        size_max: 1 << 20,
+        chunk_min: 512,
+        chunk_max: 8 * 1024,
+        whole_file_read_prob: 0.8,
+        recency_skew: 0.9,
+        append_prob: 0.3,
+        lifetime: LifetimeModel::default(),
+        initial_files: 40,
+    }
+}

@@ -1,0 +1,38 @@
+//! Database profile: a handful of large, long-lived files receiving random
+//! in-place record updates. There is almost no short-lived data, so write
+//! buffering absorbs little — the stress case for flash wear (F4) and the
+//! counterpoint in the DRAM:flash sizing sweep (F7).
+
+use super::{OpWeights, Profile};
+use crate::lifetime::LifetimeModel;
+use ssmc_sim::SimDuration;
+
+pub(crate) fn profile() -> Profile {
+    Profile {
+        name: "database",
+        weights: OpWeights {
+            create: 0.004,
+            overwrite: 0.70,
+            read: 0.28,
+            delete: 0.001,
+            truncate: 0.0,
+            sync: 0.002,
+        },
+        // Tables: 0.5–2 MB.
+        size_mu: 13.7,
+        size_sigma: 0.4,
+        size_min: 256 * 1024,
+        size_max: 2 << 20,
+        chunk_min: 512,
+        chunk_max: 4096,
+        whole_file_read_prob: 0.05,
+        recency_skew: 0.6,
+        append_prob: 0.05,
+        lifetime: LifetimeModel {
+            short_fraction: 0.0,
+            short_mean: SimDuration::from_secs(60),
+            long_mean: SimDuration::from_secs(30 * 24 * 3600),
+        },
+        initial_files: 4,
+    }
+}

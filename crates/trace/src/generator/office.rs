@@ -1,0 +1,39 @@
+//! Personal-information-manager profile: the Sharp Wizard / Casio Boss /
+//! Apple Newton class of machine the paper's introduction motivates.
+//! A small set of record files (calendar, contacts, notes) receives
+//! frequent sub-kilobyte in-place updates; reads are lookups.
+
+use super::{OpWeights, Profile};
+use crate::lifetime::LifetimeModel;
+use ssmc_sim::SimDuration;
+
+pub(crate) fn profile() -> Profile {
+    Profile {
+        name: "office",
+        weights: OpWeights {
+            create: 0.06,
+            overwrite: 0.48,
+            read: 0.40,
+            delete: 0.02,
+            truncate: 0.01,
+            sync: 0.003,
+        },
+        // Record files: 2–64 KB.
+        size_mu: 9.2,
+        size_sigma: 0.9,
+        size_min: 1024,
+        size_max: 64 * 1024,
+        chunk_min: 64,
+        chunk_max: 1024,
+        whole_file_read_prob: 0.3,
+        recency_skew: 1.1,
+        append_prob: 0.4,
+        lifetime: LifetimeModel {
+            // Organizer records live long; few scratch notes die young.
+            short_fraction: 0.2,
+            short_mean: SimDuration::from_secs(120),
+            long_mean: SimDuration::from_secs(24 * 3600),
+        },
+        initial_files: 20,
+    }
+}

@@ -1,0 +1,39 @@
+//! Software-development profile: edit/compile cycles. Sources are read,
+//! object files are created in bursts and die at the next rebuild, and an
+//! executable is rewritten occasionally — the short-lived-data extreme
+//! that makes DRAM write buffering shine.
+
+use super::{OpWeights, Profile};
+use crate::lifetime::LifetimeModel;
+use ssmc_sim::SimDuration;
+
+pub(crate) fn profile() -> Profile {
+    Profile {
+        name: "software-dev",
+        weights: OpWeights {
+            create: 0.33,
+            overwrite: 0.10,
+            read: 0.45,
+            delete: 0.08,
+            truncate: 0.01,
+            sync: 0.003,
+        },
+        // Object files: 4–128 KB.
+        size_mu: 9.6,
+        size_sigma: 1.1,
+        size_min: 2048,
+        size_max: 512 * 1024,
+        chunk_min: 1024,
+        chunk_max: 16 * 1024,
+        whole_file_read_prob: 0.9,
+        recency_skew: 1.0,
+        append_prob: 0.5,
+        lifetime: LifetimeModel {
+            // Almost everything a compiler writes is rewritten next build.
+            short_fraction: 0.9,
+            short_mean: SimDuration::from_secs(45),
+            long_mean: SimDuration::from_secs(8 * 3600),
+        },
+        initial_files: 30,
+    }
+}

@@ -1,0 +1,56 @@
+//! Trace persistence.
+//!
+//! Traces serialise to JSON so experiments can be archived and replayed
+//! across runs (and so a future user can drop in a converted real trace in
+//! place of the synthetic generators).
+
+use crate::record::Trace;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Saves a trace as JSON.
+///
+/// # Errors
+///
+/// Returns any underlying filesystem or serialisation error.
+pub fn save_json(trace: &Trace, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(trace).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Loads a trace from JSON.
+///
+/// # Errors
+///
+/// Returns any underlying filesystem or deserialisation error.
+pub fn load_json(path: &Path) -> io::Result<Trace> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, Workload};
+
+    #[test]
+    fn save_load_round_trip() {
+        let trace = GeneratorConfig::new(Workload::Office)
+            .with_ops(500)
+            .generate();
+        let path =
+            std::env::temp_dir().join(format!("ssmc-trace-io-test-{}.json", std::process::id()));
+        save_json(&trace, &path).expect("save");
+        let back = load_json(&path).expect("load");
+        assert_eq!(back.records, trace.records);
+        assert_eq!(back.name, trace.name);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_json(Path::new("/nonexistent/ssmc-trace.json"));
+        assert!(err.is_err());
+    }
+}

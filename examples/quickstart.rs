@@ -1,0 +1,83 @@
+//! Quickstart: the smallest useful tour of the public API.
+//!
+//! Builds a small 1993 notebook (battery-backed DRAM + flash, no disk),
+//! does ordinary file work, survives a battery failure, and prints what
+//! the storage manager did behind the scenes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ssmc::core::{MachineConfig, MobileComputer};
+use ssmc::memfs::OpenMode;
+
+fn main() {
+    // 4 MB battery-backed DRAM, 20 MB flash, no disk.
+    let mut machine = MobileComputer::new(MachineConfig::small_notebook());
+
+    // Ordinary file work: everything lands in the DRAM write buffer first.
+    let fd = machine.fs_create("/notes.txt").expect("create");
+    machine
+        .fs_write(fd, 0, b"flash is the new disk")
+        .expect("write");
+    machine.fs().mkdir("/mail").expect("mkdir");
+    let draft = machine.fs().create("/mail/draft").expect("create");
+    machine
+        .fs()
+        .write(draft, 0, &vec![b'x'; 8 * 1024])
+        .expect("write");
+
+    // Make it durable, then lose the battery entirely.
+    machine.fs_sync().expect("sync");
+    machine
+        .fs_write(fd, 21, b" (unsynced tail)")
+        .expect("write after sync");
+    println!("battery dies...");
+    machine.battery_failure();
+
+    let (recovery, fsck) = machine
+        .replace_battery_and_recover()
+        .expect("swap battery and recover");
+    println!(
+        "recovered {} pages in {}; lost {}, reverted {}, fsck dropped {} entries",
+        recovery.recovered_pages,
+        recovery.duration,
+        recovery.lost_pages,
+        recovery.reverted_pages,
+        fsck.dangling_entries
+    );
+
+    // The synced data survived; the unsynced tail reverted.
+    let fd = machine
+        .fs()
+        .open("/notes.txt", OpenMode::Read)
+        .expect("reopen");
+    let mut buf = vec![0u8; 64];
+    let n = machine.fs_read(fd, 0, &mut buf).expect("read");
+    println!(
+        "notes.txt after recovery: {:?}",
+        String::from_utf8_lossy(&buf[..n])
+    );
+    assert!(buf[..n].starts_with(b"flash is the new disk"));
+
+    // What the paper's storage manager did for us.
+    let m = machine.fs().storage().metrics();
+    println!(
+        "writes: {} requested, {} reached flash ({}% absorbed in DRAM)",
+        m.pages_written,
+        m.user_flash_pages,
+        (m.write_traffic_reduction() * 100.0).round()
+    );
+    let wear = machine.fs().storage().flash().wear_stats();
+    println!(
+        "flash wear: {} erases total, worst block {} (evenness {:.2})",
+        wear.total_erases,
+        wear.max_erases,
+        wear.evenness()
+    );
+    println!(
+        "energy so far: {:.3} J; battery remaining: {:.0} J",
+        machine.total_energy().as_joules(),
+        machine.battery().remaining().as_joules()
+    );
+}

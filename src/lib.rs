@@ -1,0 +1,43 @@
+//! `ssmc` — a solid-state mobile computer storage stack.
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//! the reproduction of *"Operating System Implications of Solid-State
+//! Mobile Computers"* (Cáceres, Douglis, Li & Marsh, HotOS-IV, 1993).
+//!
+//! * [`sim`] — simulation kernel (clock, events, RNG, statistics, energy).
+//! * [`device`] — flash, battery-backed DRAM, and disk models plus the 1993
+//!   product catalog and technology-trend extrapolation.
+//! * [`trace`] — workload trace format and calibrated synthetic generators.
+//! * [`storage`] — the physical storage manager of §3.3: DRAM write
+//!   buffering, migration, log-structured flash, garbage collection, wear
+//!   leveling, and bank partitioning.
+//! * [`memfs`] — the memory-resident file system of §3.1.
+//! * [`vm`] — the single-level-store virtual memory of §3.2, including
+//!   execute-in-place.
+//! * [`baseline`] — the conventional disk-based organisation used as the
+//!   comparator.
+//! * [`core`] — the assembled [`core::MobileComputer`] machine, metrics,
+//!   and the §4 DRAM:flash sizing explorer.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ssmc::core::{MachineConfig, MobileComputer};
+//!
+//! let mut machine = MobileComputer::new(MachineConfig::small_notebook());
+//! let fd = machine.fs_create("/notes.txt").unwrap();
+//! machine.fs_write(fd, 0, b"flash is the new disk").unwrap();
+//! machine.fs_sync().unwrap();
+//! let mut buf = vec![0u8; 21];
+//! machine.fs_read(fd, 0, &mut buf).unwrap();
+//! assert_eq!(&buf, b"flash is the new disk");
+//! ```
+
+pub use ssmc_baseline as baseline;
+pub use ssmc_core as core;
+pub use ssmc_device as device;
+pub use ssmc_memfs as memfs;
+pub use ssmc_sim as sim;
+pub use ssmc_storage as storage;
+pub use ssmc_trace as trace;
+pub use ssmc_vm as vm;

