@@ -1,12 +1,20 @@
-//! Criterion micro-benchmarks of the simulator itself.
+//! Micro-benchmarks of the simulator itself, on an in-tree timer harness.
 //!
 //! These measure *host* throughput of the building blocks each experiment
 //! leans on (device ops, storage-manager paths, file-system operations,
 //! trace generation and replay), one group per experiment family, so
 //! regressions in the simulator's own performance are caught next to the
 //! experiment that would suffer.
+//!
+//! The harness auto-calibrates an iteration count per scenario to fill a
+//! short measurement window, then reports mean ns/iter (and MB/s where a
+//! byte throughput is declared). Run with:
+//!
+//! ```text
+//! cargo bench -p ssmc-bench
+//! cargo bench -p ssmc-bench -- t2        # filter by substring
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use ssmc_baseline::{BaselineConfig, DiskFs};
 use ssmc_core::{MachineConfig, MobileComputer};
 use ssmc_device::{BlockId, Dram, DramSpec, Flash, FlashSpec};
@@ -14,6 +22,109 @@ use ssmc_memfs::{MemFs, WritePolicy};
 use ssmc_sim::Clock;
 use ssmc_storage::{StorageConfig, StorageManager};
 use ssmc_trace::{replay, GeneratorConfig, Workload};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per measured scenario.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Calibration budget used to size the iteration count.
+const CALIBRATE_WINDOW: Duration = Duration::from_millis(30);
+
+struct Group {
+    name: &'static str,
+    filter: Option<String>,
+    throughput_bytes: Option<u64>,
+}
+
+impl Group {
+    fn new(name: &'static str, filter: Option<String>) -> Self {
+        Group {
+            name,
+            filter,
+            throughput_bytes: None,
+        }
+    }
+
+    fn throughput_bytes(&mut self, bytes: u64) {
+        self.throughput_bytes = Some(bytes);
+    }
+
+    /// Benchmarks a stateful closure: `f` is called once per iteration
+    /// against state built once by `setup` and reused across the run
+    /// (matching criterion's `iter` with captured state).
+    fn bench<S, F: FnMut(&mut S)>(&self, scenario: &str, setup: impl Fn() -> S, mut f: F) {
+        let full = format!("{}/{}", self.name, scenario);
+        if let Some(want) = &self.filter {
+            if !full.contains(want.as_str()) {
+                return;
+            }
+        }
+        let mut state = setup();
+        // Calibrate: how many iterations fit the calibration window?
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                f(black_box(&mut state));
+            }
+            let took = start.elapsed();
+            if took >= CALIBRATE_WINDOW {
+                let scale =
+                    MEASURE_WINDOW.as_secs_f64() / took.as_secs_f64().max(1e-9);
+                n = ((n as f64) * scale).max(1.0) as u64;
+                break;
+            }
+            n = n.saturating_mul(4);
+        }
+        // Measure on fresh state so calibration churn doesn't skew it.
+        let mut state = setup();
+        let start = Instant::now();
+        for _ in 0..n {
+            f(black_box(&mut state));
+        }
+        let took = start.elapsed();
+        let ns_per_iter = took.as_nanos() as f64 / n as f64;
+        let mut line = format!("{full:<45} {n:>10} iters  {ns_per_iter:>12.1} ns/iter");
+        if let Some(bytes) = self.throughput_bytes {
+            let mbps = bytes as f64 * n as f64 / took.as_secs_f64() / (1 << 20) as f64;
+            line.push_str(&format!("  {mbps:>10.1} MB/s"));
+        }
+        println!("{line}");
+    }
+
+    /// Benchmarks a setup-heavy scenario: `setup` runs per iteration
+    /// outside the timed section (criterion's `iter_batched`).
+    fn bench_batched<S, R>(
+        &self,
+        scenario: &str,
+        setup: impl Fn() -> S,
+        mut f: impl FnMut(S) -> R,
+    ) {
+        let full = format!("{}/{}", self.name, scenario);
+        if let Some(want) = &self.filter {
+            if !full.contains(want.as_str()) {
+                return;
+            }
+        }
+        // Batched scenarios have expensive setups; bound total iterations
+        // instead of filling the window exactly.
+        let probe_state = setup();
+        let probe_start = Instant::now();
+        black_box(f(probe_state));
+        let per_iter = probe_start.elapsed();
+        let n = (MEASURE_WINDOW.as_secs_f64() / per_iter.as_secs_f64().max(1e-9))
+            .clamp(1.0, 200.0) as u64;
+        let mut timed = Duration::ZERO;
+        for _ in 0..n {
+            let state = setup();
+            let start = Instant::now();
+            black_box(f(state));
+            timed += start.elapsed();
+        }
+        let ns_per_iter = timed.as_nanos() as f64 / n as f64;
+        println!("{full:<45} {n:>10} iters  {ns_per_iter:>12.1} ns/iter");
+    }
+}
 
 fn small_flash() -> FlashSpec {
     FlashSpec {
@@ -21,174 +132,193 @@ fn small_flash() -> FlashSpec {
         blocks_per_bank: 32,
         block_bytes: 16 * 1024,
         write_unit: 512,
-        // Criterion drives millions of iterations; endurance is measured
-        // by the experiments binary, not these host-throughput benches.
+        // The harness drives many iterations; endurance is measured by
+        // the experiments binary, not these host-throughput benches.
         endurance: u64::MAX,
         ..FlashSpec::default()
     }
 }
 
 /// T1 family: raw device-model operation throughput.
-fn bench_devices(c: &mut Criterion) {
-    let mut g = c.benchmark_group("t1_device_micro");
-    g.throughput(Throughput::Bytes(512));
-    g.bench_function("flash_read_512", |b| {
-        let mut f = Flash::new(small_flash(), Clock::shared());
-        f.program(0, &[0u8; 512]).expect("program");
-        let mut buf = [0u8; 512];
-        b.iter(|| f.read(0, &mut buf).expect("read"));
-    });
-    g.bench_function("flash_program_erase_cycle", |b| {
-        let mut f = Flash::new(small_flash(), Clock::shared());
-        b.iter(|| {
+fn bench_devices(filter: Option<String>) {
+    let mut g = Group::new("t1_device_micro", filter);
+    g.throughput_bytes(512);
+    g.bench(
+        "flash_read_512",
+        || {
+            let mut f = Flash::new(small_flash(), Clock::shared());
+            f.program(0, &[0u8; 512]).expect("program");
+            (f, [0u8; 512])
+        },
+        |(f, buf)| {
+            f.read(0, buf).expect("read");
+        },
+    );
+    g.bench(
+        "flash_program_erase_cycle",
+        || Flash::new(small_flash(), Clock::shared()),
+        |f| {
             f.program(0, &[0u8; 512]).expect("program");
             f.erase(BlockId(0)).expect("erase");
-        });
-    });
-    g.bench_function("dram_write_512", |b| {
-        let mut d = Dram::new(DramSpec::default().with_capacity(1 << 20), Clock::shared());
-        b.iter(|| d.write(0, &[0u8; 512]).expect("write"));
-    });
-    g.finish();
+        },
+    );
+    g.bench(
+        "dram_write_512",
+        || Dram::new(DramSpec::default().with_capacity(1 << 20), Clock::shared()),
+        |d| {
+            d.write(0, &[0u8; 512]).expect("write");
+        },
+    );
 }
 
 /// F2/F5 family: storage-manager write path and GC under churn.
-fn bench_storage(c: &mut Criterion) {
-    let mut g = c.benchmark_group("f2_f5_storage_manager");
-    g.throughput(Throughput::Bytes(512));
-    g.bench_function("write_page_buffered", |b| {
-        let clock = Clock::shared();
-        let cfg = StorageConfig {
-            flash: small_flash(),
-            dram_buffer_bytes: 64 * 512,
-            ..StorageConfig::default()
-        };
-        let mut sm = StorageManager::new(cfg, clock);
-        let data = [0u8; 512];
-        let mut p = 0u64;
-        b.iter(|| {
-            sm.write_page(p % 16, &data).expect("write");
-            p += 1;
-        });
-    });
-    g.bench_function("churn_with_gc", |b| {
-        let clock = Clock::shared();
-        let cfg = StorageConfig {
-            flash: small_flash(),
-            dram_buffer_bytes: 16 * 512,
-            checkpointing: false,
-            ..StorageConfig::default()
-        };
-        let mut sm = StorageManager::new(cfg, clock.clone());
-        let data = [0u8; 512];
-        for p in 0..400u64 {
-            sm.write_page(p, &data).expect("fill");
-        }
-        sm.sync().expect("sync");
-        let mut i = 0u64;
-        b.iter(|| {
-            sm.write_page(i % 400, &data).expect("update");
-            i += 1;
+fn bench_storage(filter: Option<String>) {
+    let mut g = Group::new("f2_f5_storage_manager", filter);
+    g.throughput_bytes(512);
+    g.bench(
+        "write_page_buffered",
+        || {
+            let clock = Clock::shared();
+            let cfg = StorageConfig {
+                flash: small_flash(),
+                dram_buffer_bytes: 64 * 512,
+                ..StorageConfig::default()
+            };
+            (StorageManager::new(cfg, clock), 0u64)
+        },
+        |(sm, p)| {
+            sm.write_page(*p % 16, &[0u8; 512]).expect("write");
+            *p += 1;
+        },
+    );
+    g.bench(
+        "churn_with_gc",
+        || {
+            let clock = Clock::shared();
+            let cfg = StorageConfig {
+                flash: small_flash(),
+                dram_buffer_bytes: 16 * 512,
+                checkpointing: false,
+                ..StorageConfig::default()
+            };
+            let mut sm = StorageManager::new(cfg, clock.clone());
+            for p in 0..400u64 {
+                sm.write_page(p, &[0u8; 512]).expect("fill");
+            }
+            sm.sync().expect("sync");
+            (sm, clock, 0u64)
+        },
+        |(sm, clock, i)| {
+            sm.write_page(*i % 400, &[0u8; 512]).expect("update");
+            *i += 1;
             if i.is_multiple_of(64) {
                 sm.sync().expect("sync");
                 clock.advance(ssmc_sim::SimDuration::from_secs(1));
                 sm.tick().expect("tick");
             }
-        });
-    });
-    g.finish();
+        },
+    );
 }
 
 /// T2 family: file-system operations on both organisations.
-fn bench_filesystems(c: &mut Criterion) {
-    let mut g = c.benchmark_group("t2_fs_ops");
-    g.bench_function("memfs_create_write_delete", |b| {
-        let clock = Clock::shared();
-        let cfg = StorageConfig {
-            flash: small_flash().with_capacity(8 << 20),
-            dram_buffer_bytes: 256 * 512,
-            ..StorageConfig::default()
-        };
-        let sm = StorageManager::new(cfg, clock);
-        let mut fs = MemFs::new(sm, WritePolicy::CopyOnWrite).expect("mount");
-        let mut i = 0u64;
-        b.iter(|| {
+fn bench_filesystems(filter: Option<String>) {
+    let g = Group::new("t2_fs_ops", filter);
+    g.bench(
+        "memfs_create_write_delete",
+        || {
+            let clock = Clock::shared();
+            let cfg = StorageConfig {
+                flash: small_flash().with_capacity(8 << 20),
+                dram_buffer_bytes: 256 * 512,
+                ..StorageConfig::default()
+            };
+            let sm = StorageManager::new(cfg, clock);
+            let fs = MemFs::new(sm, WritePolicy::CopyOnWrite).expect("mount");
+            (fs, 0u64)
+        },
+        |(fs, i)| {
             let path = format!("/bench{i}");
             let fd = fs.create(&path).expect("create");
             fs.write(fd, 0, &[7u8; 2048]).expect("write");
             fs.unlink(&path).expect("unlink");
-            i += 1;
-        });
-    });
-    g.bench_function("diskfs_create_write_delete", |b| {
-        let clock = Clock::shared();
-        let mut fs = DiskFs::new(BaselineConfig::default(), clock);
-        let mut i = 0u64;
-        b.iter(|| {
-            fs.create(i).expect("create");
-            fs.write(i, 0, 2048).expect("write");
-            fs.delete(i).expect("delete");
-            i += 1;
-        });
-    });
-    g.finish();
+            *i += 1;
+        },
+    );
+    g.bench(
+        "diskfs_create_write_delete",
+        || (DiskFs::new(BaselineConfig::default(), Clock::shared()), 0u64),
+        |(fs, i)| {
+            fs.create(*i).expect("create");
+            fs.write(*i, 0, 2048).expect("write");
+            fs.delete(*i).expect("delete");
+            *i += 1;
+        },
+    );
 }
 
 /// F6 family: VM fault handling and XIP launches.
-fn bench_vm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("f6_vm");
-    g.bench_function("xip_launch_64k", |b| {
-        b.iter_batched(
-            || {
-                let mut m = MobileComputer::new(MachineConfig::small_notebook());
-                let fd = m.fs().create("/app").expect("create");
-                m.fs().write(fd, 0, &vec![0u8; 64 * 1024]).expect("write");
-                m.fs().sync().expect("sync");
-                m
-            },
-            |mut m| m.launch_app("/app", true).expect("launch"),
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+fn bench_vm(filter: Option<String>) {
+    let g = Group::new("f6_vm", filter);
+    g.bench_batched(
+        "xip_launch_64k",
+        || {
+            let mut m = MobileComputer::new(MachineConfig::small_notebook());
+            let fd = m.fs().create("/app").expect("create");
+            m.fs().write(fd, 0, &vec![0u8; 64 * 1024]).expect("write");
+            m.fs().sync().expect("sync");
+            m
+        },
+        |mut m| m.launch_app("/app", true).expect("launch"),
+    );
 }
 
 /// F7/T2b family: trace generation and replay throughput.
-fn bench_traces(c: &mut Criterion) {
-    let mut g = c.benchmark_group("f7_trace_replay");
-    g.bench_function("generate_bsd_5k", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            GeneratorConfig::new(Workload::Bsd)
-                .with_ops(5_000)
-                .with_seed(seed)
-                .generate()
-        });
-    });
-    g.bench_function("replay_office_2k_on_machine", |b| {
-        let trace = GeneratorConfig::new(Workload::Office)
-            .with_ops(2_000)
-            .with_max_live_bytes(1 << 20)
-            .generate();
-        b.iter_batched(
-            || MobileComputer::new(MachineConfig::small_notebook()),
-            |mut m| {
-                let clock = m.clock().clone();
-                replay(&trace, &mut m, &clock)
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+fn bench_traces(filter: Option<String>) {
+    let g = Group::new("f7_trace_replay", filter);
+    g.bench(
+        "generate_bsd_5k",
+        || 0u64,
+        |seed| {
+            *seed += 1;
+            black_box(
+                GeneratorConfig::new(Workload::Bsd)
+                    .with_ops(5_000)
+                    .with_seed(*seed)
+                    .generate(),
+            );
+        },
+    );
+    let trace = GeneratorConfig::new(Workload::Office)
+        .with_ops(2_000)
+        .with_max_live_bytes(1 << 20)
+        .generate();
+    g.bench_batched(
+        "replay_office_2k_on_machine",
+        || MobileComputer::new(MachineConfig::small_notebook()),
+        |mut m| {
+            let clock = m.clock().clone();
+            replay(&trace, &mut m, &clock)
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_devices,
-    bench_storage,
-    bench_filesystems,
-    bench_vm,
-    bench_traces
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; the first free
+    // argument (if any) is a substring filter on scenario names.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"));
+    println!(
+        "in-tree bench harness: window {} ms/scenario{}",
+        MEASURE_WINDOW.as_millis(),
+        filter
+            .as_deref()
+            .map(|f| format!(", filter `{f}`"))
+            .unwrap_or_default()
+    );
+    bench_devices(filter.clone());
+    bench_storage(filter.clone());
+    bench_filesystems(filter.clone());
+    bench_vm(filter.clone());
+    bench_traces(filter);
+}

@@ -5,17 +5,30 @@
 //! cargo run --release -p ssmc-bench --bin experiments -- t1 f2 f4
 //! cargo run --release -p ssmc-bench --bin experiments -- --list
 //! cargo run --release -p ssmc-bench --bin experiments -- all --json results/
+//! cargo run --release -p ssmc-bench --bin experiments -- all --threads 4
 //! ```
 
 use ssmc_bench::experiments;
+use ssmc_sim::report::ToReport;
 use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = experiments();
 
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            });
+        ssmc_sim::set_threads(n);
+    }
+
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments [--list] [--json DIR] <ids...|all>");
+        eprintln!("usage: experiments [--list] [--json DIR] [--threads N] <ids...|all>");
         eprintln!("experiments:");
         for e in &registry {
             eprintln!("  {:4}  {}", e.id, e.title);
@@ -60,7 +73,7 @@ fn main() {
         if let Some(dir) = &json_dir {
             let path = dir.join(format!("{}.json", e.id));
             let mut f = std::fs::File::create(&path).expect("create json");
-            let json = serde_json::to_string_pretty(&tables).expect("serialise tables");
+            let json = tables.to_report().encode_pretty();
             f.write_all(json.as_bytes()).expect("write json");
             eprintln!("    wrote {}", path.display());
         }

@@ -7,7 +7,7 @@
 //! number rests on (fraction of new data that dies young).
 
 use ssmc_core::{run_trace, MachineConfig, MobileComputer};
-use ssmc_sim::Table;
+use ssmc_sim::{parallel_sweep, Table};
 use ssmc_trace::{GeneratorConfig, LifetimeModel, Trace, Workload};
 
 fn machine_with_buffer(buffer_bytes: u64) -> MobileComputer {
@@ -38,29 +38,35 @@ pub fn run() -> Vec<Table> {
         ],
     );
     let trace = bsd_trace(0.7);
-    for kb in [0u64, 64, 128, 256, 512, 1024, 2048, 4096] {
+    let buffer_kbs = [0u64, 64, 128, 256, 512, 1024, 2048, 4096];
+    for row in parallel_sweep(&buffer_kbs, |_, &kb| {
         let mut m = machine_with_buffer(kb * 1024);
         let report = run_trace(&mut m, &trace);
         let sm = m.fs().storage().metrics();
-        sweep.row(vec![
+        vec![
             kb.into(),
             (report.write_reduction * 100.0).into(),
             sm.overwrites_absorbed.into(),
             sm.deaths_absorbed.into(),
             sm.user_flash_pages.into(),
             sm.pages_written.into(),
-        ]);
+        ]
+    }) {
+        sweep.row(row);
     }
 
     let mut sens = Table::new(
         "F2b: sensitivity to data lifetime (1 MB buffer; fraction of new data dying young)",
         &["short-lived fraction", "traffic reduction (%)"],
     );
-    for frac in [0.3, 0.5, 0.7, 0.9] {
+    let fractions = [0.3, 0.5, 0.7, 0.9];
+    for row in parallel_sweep(&fractions, |_, &frac| {
         let trace = bsd_trace(frac);
         let mut m = machine_with_buffer(1 << 20);
         let report = run_trace(&mut m, &trace);
-        sens.row(vec![frac.into(), (report.write_reduction * 100.0).into()]);
+        vec![frac.into(), (report.write_reduction * 100.0).into()]
+    }) {
+        sens.row(row);
     }
     vec![sweep, sens]
 }

@@ -10,7 +10,7 @@
 
 use ssmc_core::project_lifetime_years;
 use ssmc_device::FlashSpec;
-use ssmc_sim::{Clock, SimDuration, Table};
+use ssmc_sim::{parallel_sweep, Clock, SimDuration, Table};
 use ssmc_storage::{GcPolicy, Placement, StorageConfig, StorageManager, WearLeveling};
 
 struct Outcome {
@@ -118,9 +118,10 @@ pub fn run() -> Vec<Table> {
             "projected life (years)",
         ],
     );
-    for (label, placement, gc, wl) in policies() {
+    let policy_list = policies();
+    for row in parallel_sweep(&policy_list, |_, &(label, placement, gc, wl)| {
         let o = drive(placement, gc, wl);
-        t.row(vec![
+        vec![
             label.into(),
             o.erases.into(),
             o.max_erases.into(),
@@ -130,7 +131,9 @@ pub fn run() -> Vec<Table> {
                 Some(y) => y.into(),
                 None => "no wear observed".into(),
             },
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     vec![t]
 }

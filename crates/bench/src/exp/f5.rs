@@ -8,7 +8,7 @@
 //! early.
 
 use ssmc_device::FlashSpec;
-use ssmc_sim::{Clock, SimDuration, Table};
+use ssmc_sim::{parallel_sweep, Clock, SimDuration, Table};
 use ssmc_storage::{GcPolicy, StorageConfig, StorageManager};
 
 fn steady_state_amplification(utilization: f64, gc: GcPolicy, skewed: bool) -> f64 {
@@ -89,13 +89,30 @@ pub fn run() -> Vec<Table> {
             "cost-benefit (hot/cold)",
         ],
     );
-    for u in [0.2, 0.4, 0.6, 0.75, 0.9] {
+    // The full 5×4 grid of independent runs, flattened onto the sweep
+    // pool, then regrouped one row per utilisation.
+    let utilizations = [0.2, 0.4, 0.6, 0.75, 0.9];
+    let configs = [
+        (GcPolicy::Greedy, false),
+        (GcPolicy::CostBenefit, false),
+        (GcPolicy::Greedy, true),
+        (GcPolicy::CostBenefit, true),
+    ];
+    let grid: Vec<(f64, GcPolicy, bool)> = utilizations
+        .iter()
+        .flat_map(|&u| configs.iter().map(move |&(gc, skewed)| (u, gc, skewed)))
+        .collect();
+    let amps = parallel_sweep(&grid, |_, &(u, gc, skewed)| {
+        steady_state_amplification(u, gc, skewed)
+    });
+    for (row_idx, &u) in utilizations.iter().enumerate() {
+        let base = row_idx * configs.len();
         t.row(vec![
             u.into(),
-            steady_state_amplification(u, GcPolicy::Greedy, false).into(),
-            steady_state_amplification(u, GcPolicy::CostBenefit, false).into(),
-            steady_state_amplification(u, GcPolicy::Greedy, true).into(),
-            steady_state_amplification(u, GcPolicy::CostBenefit, true).into(),
+            amps[base].into(),
+            amps[base + 1].into(),
+            amps[base + 2].into(),
+            amps[base + 3].into(),
         ]);
     }
     vec![t]

@@ -8,36 +8,26 @@
 //! (infeasible points).
 
 use ssmc_core::{sweep_sizing, MachineConfig, SizingSpec};
-use ssmc_sim::Table;
+use ssmc_sim::{parallel_sweep, Table};
 use ssmc_trace::{GeneratorConfig, Workload};
 
-/// Runs F7. The three workload sweeps are independent and run on scoped
-/// threads (each sweep further parallelises over its fractions).
+/// Runs F7. The three workload sweeps are independent and run on the
+/// shared [`parallel_sweep`] pool (each sweep further parallelises over
+/// its fractions).
 pub fn run() -> Vec<Table> {
     let workloads = [Workload::Office, Workload::Bsd, Workload::Database];
-    let sweeps: Vec<_> = std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|&workload| {
-                scope.spawn(move || {
-                    let trace = GeneratorConfig::new(workload)
-                        .with_ops(8_000)
-                        .with_max_live_bytes(3 << 20)
-                        .generate();
-                    let spec = SizingSpec {
-                        budget_dollars: 1_000.0,
-                        dram_fractions: vec![0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9],
-                        base: MachineConfig::small_notebook(),
-                        ..SizingSpec::default()
-                    };
-                    sweep_sizing(&spec, &trace)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep panicked"))
-            .collect()
+    let sweeps = parallel_sweep(&workloads, |_, &workload| {
+        let trace = GeneratorConfig::new(workload)
+            .with_ops(8_000)
+            .with_max_live_bytes(3 << 20)
+            .generate();
+        let spec = SizingSpec {
+            budget_dollars: 1_000.0,
+            dram_fractions: vec![0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9],
+            base: MachineConfig::small_notebook(),
+            ..SizingSpec::default()
+        };
+        sweep_sizing(&spec, &trace)
     });
     let mut tables = Vec::new();
     for (workload, points) in workloads.into_iter().zip(sweeps) {

@@ -11,7 +11,8 @@
 use crate::config::MachineConfig;
 use crate::machine::MobileComputer;
 use crate::run::run_trace;
-use serde::Serialize;
+use ssmc_sim::report::{ToReport, Value};
+use ssmc_sim::parallel_sweep;
 use ssmc_trace::Trace;
 
 /// Sweep parameters.
@@ -42,7 +43,7 @@ impl Default for SizingSpec {
 }
 
 /// One point on the trade-off curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SizingPoint {
     /// DRAM megabytes bought.
     pub dram_mb: f64,
@@ -63,21 +64,29 @@ pub struct SizingPoint {
     pub write_reduction: f64,
 }
 
+impl ToReport for SizingPoint {
+    fn to_report(&self) -> Value {
+        Value::object(vec![
+            ("dram_mb", self.dram_mb.to_report()),
+            ("flash_mb", self.flash_mb.to_report()),
+            ("dram_fraction", self.dram_fraction.to_report()),
+            ("feasible", self.feasible.to_report()),
+            ("mean_latency_us", self.mean_latency_us.to_report()),
+            ("energy_joules", self.energy_joules.to_report()),
+            ("lifetime_years", self.lifetime_years.to_report()),
+            ("write_reduction", self.write_reduction.to_report()),
+        ])
+    }
+}
+
 /// Runs the sweep: one machine per DRAM fraction, all driven by `trace`.
 ///
-/// Points are independent simulations, so they run on scoped threads; the
-/// returned vector preserves the order of `spec.dram_fractions`.
+/// Points are independent simulations, so they run on the shared
+/// [`parallel_sweep`] pool; the returned vector preserves the order of
+/// `spec.dram_fractions` regardless of the thread count.
 pub fn sweep_sizing(spec: &SizingSpec, trace: &Trace) -> Vec<SizingPoint> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = spec
-            .dram_fractions
-            .iter()
-            .map(|&fraction| scope.spawn(move || run_point(spec, trace, fraction)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sizing point panicked"))
-            .collect()
+    parallel_sweep(&spec.dram_fractions, |_, &fraction| {
+        run_point(spec, trace, fraction)
     })
 }
 

@@ -6,13 +6,27 @@
 //! component name, so experiments can report joules per workload and
 //! per-component breakdowns.
 
+use crate::report::{field, FromReport, ReportError, ToReport, Value};
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An amount of energy, stored in nanojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct Energy(u64);
+
+// Newtype wrappers serialise as their bare counts, matching the old
+// serde derives.
+impl ToReport for Energy {
+    fn to_report(&self) -> Value {
+        self.0.to_report()
+    }
+}
+
+impl FromReport for Energy {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        u64::from_report(v).map(Energy)
+    }
+}
 
 impl Energy {
     /// Zero energy.
@@ -77,8 +91,20 @@ impl core::iter::Sum for Energy {
 }
 
 /// A power draw, stored in microwatts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct Power(u64);
+
+impl ToReport for Power {
+    fn to_report(&self) -> Value {
+        self.0.to_report()
+    }
+}
+
+impl FromReport for Power {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        u64::from_report(v).map(Power)
+    }
+}
 
 impl Power {
     /// Zero draw.
@@ -135,9 +161,23 @@ impl core::ops::Add for Power {
 }
 
 /// Named per-component energy counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EnergyLedger {
     accounts: BTreeMap<String, Energy>,
+}
+
+impl ToReport for EnergyLedger {
+    fn to_report(&self) -> Value {
+        Value::object(vec![("accounts", self.accounts.to_report())])
+    }
+}
+
+impl FromReport for EnergyLedger {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        Ok(EnergyLedger {
+            accounts: field(v, "accounts")?,
+        })
+    }
 }
 
 impl EnergyLedger {

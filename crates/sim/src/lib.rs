@@ -16,10 +16,15 @@
 //! * [`EnergyLedger`] — named per-component energy accounting.
 //! * [`series`] — labeled result series and text-table rendering used by the
 //!   experiment harness.
+//! * [`report`] — in-tree JSON value model and the [`ToReport`] /
+//!   [`FromReport`] serialization traits (no external crates).
+//! * [`par`] — deterministic order-preserving parallel sweep runner.
 
 pub mod clock;
 pub mod energy;
 pub mod events;
+pub mod par;
+pub mod report;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -28,6 +33,8 @@ pub mod time;
 pub use clock::{Clock, SharedClock};
 pub use energy::{Energy, EnergyLedger, Power};
 pub use events::EventQueue;
+pub use par::{parallel_sweep, set_threads, threads};
+pub use report::{field, FromReport, ReportError, ToReport, Value};
 pub use rng::SimRng;
 pub use series::{Cell, Series, Table};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};

@@ -1,0 +1,115 @@
+//! Deterministic parallel sweep runner.
+//!
+//! Experiment sweeps (buffer-size grids, utilization curves, sizing
+//! fractions) are embarrassingly parallel: each point builds its own
+//! machine from an explicit seed and never shares state with its
+//! neighbours. [`parallel_sweep`] runs such a grid across a bounded pool
+//! of scoped threads and returns results **in input order**, so the
+//! produced tables and JSON are bit-identical no matter how many threads
+//! ran the sweep — determinism stays a property of the seeds, not the
+//! scheduler.
+//!
+//! The thread budget is a process-wide setting ([`set_threads`],
+//! defaulting to the host's available parallelism) so the experiments
+//! binary can expose a single `--threads N` flag.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread cap; 0 means "not set yet, use the host default".
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of worker threads used by [`parallel_sweep`].
+///
+/// A value of 0 restores the default (host available parallelism).
+pub fn set_threads(n: usize) {
+    THREAD_CAP.store(n, Ordering::Relaxed);
+}
+
+/// The number of worker threads [`parallel_sweep`] will use.
+pub fn threads() -> usize {
+    match THREAD_CAP.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Runs `work` over every item of `items` on a bounded pool of scoped
+/// threads, returning the results in input order.
+///
+/// `work` receives `(index, &item)` and is pulled from a shared atomic
+/// queue, so an expensive point does not leave threads idle behind it.
+/// Results are identical to a sequential `items.iter().map(...)` run —
+/// only wall-clock time changes with the thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn parallel_sweep<T, R, F>(items: &[T], work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads().min(items.len()).max(1);
+    if workers == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| work(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = work(i, item);
+                slots.lock().expect("sweep mutex").push((i, r));
+            });
+        }
+    });
+
+    let mut collected = slots.into_inner().expect("sweep mutex");
+    collected.sort_by_key(|(i, _)| *i);
+    assert_eq!(collected.len(), items.len(), "sweep lost results");
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_sweep(&items, |i, &x| {
+            // Stagger completion times so out-of-order finishes happen.
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2
+        });
+        let expected: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_sweep(&none, |_, &x| x).is_empty());
+        assert_eq!(parallel_sweep(&[5u32], |i, &x| (i, x)), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c", "d"];
+        let out = parallel_sweep(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+}

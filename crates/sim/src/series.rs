@@ -5,11 +5,11 @@
 //! figure-shaped results, a [`Series`] of `(x, y)` points per curve. Both
 //! serialise to JSON so EXPERIMENTS.md can be produced mechanically.
 
-use serde::{Deserialize, Serialize};
+use crate::report::{field, FromReport, ReportError, ToReport, Value};
 use std::fmt::Write as _;
 
 /// One curve in a figure: a label and a list of `(x, y)` points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Curve label, e.g. `"cost-benefit GC"`.
     pub label: String,
@@ -50,8 +50,26 @@ impl Series {
     }
 }
 
+impl ToReport for Series {
+    fn to_report(&self) -> Value {
+        Value::object(vec![
+            ("label", self.label.to_report()),
+            ("points", self.points.to_report()),
+        ])
+    }
+}
+
+impl FromReport for Series {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        Ok(Series {
+            label: field(v, "label")?,
+            points: field(v, "points")?,
+        })
+    }
+}
+
 /// A table cell: either text or a number (formatted on render).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Cell {
     /// Verbatim text.
     Text(String),
@@ -115,8 +133,37 @@ impl From<usize> for Cell {
     }
 }
 
+// Cells keep the externally tagged encoding the serde derive produced —
+// `{"Text": "flash"}`, `{"Num": 0.5}`, `{"Int": 7}` — because checked-in
+// `results/*.json` files use it.
+impl ToReport for Cell {
+    fn to_report(&self) -> Value {
+        match self {
+            Cell::Text(s) => Value::object(vec![("Text", s.to_report())]),
+            Cell::Num(x) => Value::object(vec![("Num", x.to_report())]),
+            Cell::Int(i) => Value::object(vec![("Int", i.to_report())]),
+        }
+    }
+}
+
+impl FromReport for Cell {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        match v.as_object() {
+            Some([(tag, inner)]) => match tag.as_str() {
+                "Text" => Ok(Cell::Text(String::from_report(inner)?)),
+                "Num" => Ok(Cell::Num(f64::from_report(inner)?)),
+                "Int" => Ok(Cell::Int(i64::from_report(inner)?)),
+                other => Err(ReportError::schema(format!(
+                    "unknown Cell variant `{other}`"
+                ))),
+            },
+            _ => Err(ReportError::schema("expected single-variant Cell object")),
+        }
+    }
+}
+
 /// A titled fixed-width text table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title, e.g. `"T1: device characteristics"`.
     pub title: String,
@@ -182,6 +229,26 @@ impl Table {
     }
 }
 
+impl ToReport for Table {
+    fn to_report(&self) -> Value {
+        Value::object(vec![
+            ("title", self.title.to_report()),
+            ("headers", self.headers.to_report()),
+            ("rows", self.rows.to_report()),
+        ])
+    }
+}
+
+impl FromReport for Table {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        Ok(Table {
+            title: field(v, "title")?,
+            headers: field(v, "headers")?,
+            rows: field(v, "rows")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +294,34 @@ mod tests {
     fn table_rejects_ragged_rows() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_shapes_match_checked_in_results() {
+        // The encoding contract the results/*.json archives rely on.
+        assert_eq!(Cell::Int(7).to_report().encode(), "{\"Int\":7}");
+        assert_eq!(Cell::Num(0.5).to_report().encode(), "{\"Num\":0.5}");
+        assert_eq!(
+            Cell::Text("flash".into()).to_report().encode(),
+            "{\"Text\":\"flash\"}"
+        );
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec![Cell::Int(1)]);
+        assert_eq!(
+            t.to_report().encode(),
+            "{\"title\":\"demo\",\"headers\":[\"a\"],\"rows\":[[{\"Int\":1}]]}"
+        );
+        let decoded = Table::from_report(&Value::decode(&t.to_report().encode()).expect("json"))
+            .expect("table");
+        assert_eq!(decoded.title, "demo");
+        assert_eq!(decoded.rows.len(), 1);
+
+        let mut s = Series::new("curve");
+        s.push(1.0, 2.0);
+        assert_eq!(
+            s.to_report().encode(),
+            "{\"label\":\"curve\",\"points\":[[1.0,2.0]]}"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! * [`TimeWeighted`] — time-weighted average of a level signal (e.g. DRAM
 //!   pages occupied), integrated against the simulation clock.
 
+use crate::report::{field, FromReport, ReportError, ToReport, Value};
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Streaming mean/variance/min/max accumulator (Welford).
 ///
@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 4.0);
 /// assert_eq!(s.max(), 6.0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -138,7 +138,7 @@ impl OnlineStats {
 /// zero and one. Quantiles are estimated by linear interpolation within the
 /// bucket, which is plenty for "p99 latency"-style reporting across the
 /// nine orders of magnitude the devices span.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -233,7 +233,7 @@ impl Histogram {
 /// Call [`TimeWeighted::set`] whenever the level changes; the accumulator
 /// integrates `level × dt` so that, e.g., "average DRAM pages in use" is
 /// weighted by how long each occupancy lasted, not by how often it changed.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     level: f64,
     last_change: SimTime,
@@ -288,6 +288,82 @@ impl TimeWeighted {
         }
         let integral = self.integral + self.level * now.since(self.last_change).as_nanos() as f64;
         integral / total
+    }
+}
+
+impl ToReport for OnlineStats {
+    fn to_report(&self) -> Value {
+        Value::object(vec![
+            ("n", self.n.to_report()),
+            ("mean", self.mean.to_report()),
+            ("m2", self.m2.to_report()),
+            ("min", self.min.to_report()),
+            ("max", self.max.to_report()),
+        ])
+    }
+}
+
+impl FromReport for OnlineStats {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        let n: u64 = field(v, "n")?;
+        let mut s = OnlineStats {
+            n,
+            mean: field(v, "mean")?,
+            m2: field(v, "m2")?,
+            min: field(v, "min")?,
+            max: field(v, "max")?,
+        };
+        if n == 0 {
+            // Empty accumulators carry ±∞ sentinels, which JSON cannot
+            // represent; restore them after the null → NaN decode.
+            s.min = f64::INFINITY;
+            s.max = f64::NEG_INFINITY;
+        }
+        Ok(s)
+    }
+}
+
+impl ToReport for Histogram {
+    fn to_report(&self) -> Value {
+        Value::object(vec![
+            ("buckets", self.buckets.to_report()),
+            ("count", self.count.to_report()),
+            ("sum", self.sum.to_report()),
+        ])
+    }
+}
+
+impl FromReport for Histogram {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        Ok(Histogram {
+            buckets: field(v, "buckets")?,
+            count: field(v, "count")?,
+            sum: field(v, "sum")?,
+        })
+    }
+}
+
+impl ToReport for TimeWeighted {
+    fn to_report(&self) -> Value {
+        Value::object(vec![
+            ("level", self.level.to_report()),
+            ("last_change", self.last_change.to_report()),
+            ("integral", self.integral.to_report()),
+            ("start", self.start.to_report()),
+            ("peak", self.peak.to_report()),
+        ])
+    }
+}
+
+impl FromReport for TimeWeighted {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        Ok(TimeWeighted {
+            level: field(v, "level")?,
+            last_change: field(v, "last_change")?,
+            integral: field(v, "integral")?,
+            start: field(v, "start")?,
+            peak: field(v, "peak")?,
+        })
     }
 }
 

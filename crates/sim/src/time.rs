@@ -5,22 +5,44 @@
 //! the simulator ~584 years of range — comfortably more than the multi-year
 //! flash-lifetime projections in experiment F4 need.
 
+use crate::report::{FromReport, ReportError, ToReport, Value};
 use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
 
 /// An instant in simulated time, in nanoseconds since simulation start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
+
+// Like the serde newtype derives before them, both wrappers serialise as
+// their bare nanosecond count.
+impl ToReport for SimTime {
+    fn to_report(&self) -> Value {
+        self.0.to_report()
+    }
+}
+
+impl FromReport for SimTime {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        u64::from_report(v).map(SimTime)
+    }
+}
+
+impl ToReport for SimDuration {
+    fn to_report(&self) -> Value {
+        self.0.to_report()
+    }
+}
+
+impl FromReport for SimDuration {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        u64::from_report(v).map(SimDuration)
+    }
+}
 
 impl SimTime {
     /// The simulation epoch (t = 0).

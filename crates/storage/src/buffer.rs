@@ -156,9 +156,13 @@ impl WriteBuffer {
         self.lrw.iter().take(k).map(|(_, p)| *p).collect()
     }
 
-    /// All buffered pages (arbitrary order).
+    /// All buffered pages, coldest (least recently written) first.
+    ///
+    /// Iterates the LRW index rather than the hash map so the order is
+    /// deterministic: sync-time flushes land on flash in the same order
+    /// on every run, which fixed-seed reproducibility depends on.
     pub fn pages(&self) -> Vec<PageId> {
-        self.entries.keys().copied().collect()
+        self.lrw.iter().map(|(_, p)| *p).collect()
     }
 
     /// Drops every entry without returning frames individually (battery

@@ -5,6 +5,7 @@
 //! place of the synthetic generators).
 
 use crate::record::Trace;
+use ssmc_sim::report::{FromReport, ToReport, Value};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -13,10 +14,9 @@ use std::path::Path;
 ///
 /// # Errors
 ///
-/// Returns any underlying filesystem or serialisation error.
+/// Returns any underlying filesystem error.
 pub fn save_json(trace: &Trace, path: &Path) -> io::Result<()> {
-    let json = serde_json::to_string(trace).map_err(io::Error::other)?;
-    fs::write(path, json)
+    fs::write(path, trace.to_report().encode())
 }
 
 /// Loads a trace from JSON.
@@ -26,7 +26,8 @@ pub fn save_json(trace: &Trace, path: &Path) -> io::Result<()> {
 /// Returns any underlying filesystem or deserialisation error.
 pub fn load_json(path: &Path) -> io::Result<Trace> {
     let json = fs::read_to_string(path)?;
-    serde_json::from_str(&json).map_err(io::Error::other)
+    let value = Value::decode(&json).map_err(io::Error::other)?;
+    Trace::from_report(&value).map_err(io::Error::other)
 }
 
 #[cfg(test)]

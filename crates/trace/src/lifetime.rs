@@ -10,11 +10,11 @@
 //! short fraction and both means sweepable so experiment F2 can show the
 //! claim's sensitivity to the underlying locality.
 
-use serde::{Deserialize, Serialize};
+use ssmc_sim::report::{field, FromReport, ReportError, ToReport, Value};
 use ssmc_sim::{SimDuration, SimRng};
 
 /// Bimodal file/data lifetime distribution.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LifetimeModel {
     /// Fraction of new data that is short-lived (Baker et al. report
     /// 65–80 % of new bytes dying within ~30 s on Sprite).
@@ -32,6 +32,26 @@ impl Default for LifetimeModel {
             short_mean: SimDuration::from_secs(30),
             long_mean: SimDuration::from_secs(4 * 3600),
         }
+    }
+}
+
+impl ToReport for LifetimeModel {
+    fn to_report(&self) -> Value {
+        Value::object(vec![
+            ("short_fraction", self.short_fraction.to_report()),
+            ("short_mean", self.short_mean.to_report()),
+            ("long_mean", self.long_mean.to_report()),
+        ])
+    }
+}
+
+impl FromReport for LifetimeModel {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        Ok(LifetimeModel {
+            short_fraction: field(v, "short_fraction")?,
+            short_mean: field(v, "short_mean")?,
+            long_mean: field(v, "long_mean")?,
+        })
     }
 }
 

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Offline CI gate: the workspace must build, test, and regenerate a
+# representative experiment with no registry access and no external
+# crates. Run from the repository root.
+set -eu
+
+cargo build --release --offline
+cargo test -q --offline
+cargo run --release --offline -p ssmc-bench --bin experiments -- f2

@@ -1,10 +1,13 @@
-//! Property-based test: the conventional disk file system against a
-//! size/existence model, plus cross-organisation trace equivalence.
+//! Randomized-model test: the conventional disk file system against a
+//! size/existence model, driven by fixed `SimRng` seeds so every run
+//! exercises identical sequences.
 
-use proptest::prelude::*;
 use ssmc::baseline::{BaselineConfig, DiskFs, FfsError};
-use ssmc::sim::Clock;
+use ssmc::sim::{Clock, SimRng};
 use std::collections::HashMap;
+
+/// Base seed for the deterministic case generator.
+const SEED: u64 = 0xBA5E_11FE;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,23 +19,27 @@ enum Op {
     Flush,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let file = 0..6u64;
-    prop_oneof![
-        2 => file.clone().prop_map(Op::Create),
-        4 => (file.clone(), 0..100_000u32, 1..40_000u32).prop_map(|(f, o, l)| Op::Write(f, o, l)),
-        3 => (file.clone(), 0..120_000u32, 1..40_000u32).prop_map(|(f, o, l)| Op::Read(f, o, l)),
-        1 => (file.clone(), 0..100_000u32).prop_map(|(f, l)| Op::Truncate(f, l)),
-        1 => file.prop_map(Op::Delete),
-        1 => Just(Op::Flush),
-    ]
+/// Mirrors the old proptest weights: Create 2, Write 4, Read 3,
+/// Truncate/Delete/Flush 1 each (total 12), over a six-file universe.
+fn random_op(rng: &mut SimRng) -> Op {
+    let file = |rng: &mut SimRng| rng.below(6);
+    match rng.below(12) {
+        0..=1 => Op::Create(file(rng)),
+        2..=5 => Op::Write(file(rng), rng.below(100_000) as u32, 1 + rng.below(39_999) as u32),
+        6..=8 => Op::Read(file(rng), rng.below(120_000) as u32, 1 + rng.below(39_999) as u32),
+        9 => Op::Truncate(file(rng), rng.below(100_000) as u32),
+        10 => Op::Delete(file(rng)),
+        _ => Op::Flush,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn diskfs_matches_size_model() {
+    for case in 0..32u64 {
+        let seed = SEED + case;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops: Vec<Op> = (0..1 + rng.below(79)).map(|_| random_op(&mut rng)).collect();
 
-    #[test]
-    fn diskfs_matches_size_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
         let clock = Clock::shared();
         let mut fs = DiskFs::new(
             BaselineConfig {
@@ -48,10 +55,14 @@ proptest! {
                     let real = fs.create(f);
                     match model.entry(f) {
                         std::collections::hash_map::Entry::Occupied(_) => {
-                            prop_assert_eq!(real, Err(FfsError::Exists(f)));
+                            assert_eq!(
+                                real,
+                                Err(FfsError::Exists(f)),
+                                "seed {seed}: double create {f}"
+                            );
                         }
                         std::collections::hash_map::Entry::Vacant(v) => {
-                            prop_assert!(real.is_ok());
+                            assert!(real.is_ok(), "seed {seed}: create {f} failed");
                             v.insert(0);
                         }
                     }
@@ -60,48 +71,68 @@ proptest! {
                     let real = fs.write(f, off as u64, len as u64);
                     match model.get_mut(&f) {
                         Some(size) => {
-                            prop_assert!(real.is_ok(), "write failed: {:?}", real.err());
+                            assert!(
+                                real.is_ok(),
+                                "seed {seed}: write failed: {:?}",
+                                real.err()
+                            );
                             *size = (*size).max(off as u64 + len as u64);
                         }
-                        None => prop_assert_eq!(real, Err(FfsError::UnknownFile(f))),
+                        None => assert_eq!(
+                            real,
+                            Err(FfsError::UnknownFile(f)),
+                            "seed {seed}: write to ghost {f}"
+                        ),
                     }
                 }
                 Op::Read(f, off, len) => {
                     let real = fs.read(f, off as u64, len as u64);
                     if model.contains_key(&f) {
-                        prop_assert!(real.is_ok());
+                        assert!(real.is_ok(), "seed {seed}: read of {f} failed");
                     } else {
-                        prop_assert_eq!(real, Err(FfsError::UnknownFile(f)));
+                        assert_eq!(
+                            real,
+                            Err(FfsError::UnknownFile(f)),
+                            "seed {seed}: read of ghost {f}"
+                        );
                     }
                 }
                 Op::Truncate(f, len) => {
                     let real = fs.truncate(f, len as u64);
                     match model.get_mut(&f) {
                         Some(size) => {
-                            prop_assert!(real.is_ok());
+                            assert!(real.is_ok(), "seed {seed}: truncate of {f} failed");
                             *size = len as u64;
                         }
-                        None => prop_assert_eq!(real, Err(FfsError::UnknownFile(f))),
+                        None => assert_eq!(
+                            real,
+                            Err(FfsError::UnknownFile(f)),
+                            "seed {seed}: truncate of ghost {f}"
+                        ),
                     }
                 }
                 Op::Delete(f) => {
                     let real = fs.delete(f);
                     if model.remove(&f).is_some() {
-                        prop_assert!(real.is_ok());
+                        assert!(real.is_ok(), "seed {seed}: delete of {f} failed");
                     } else {
-                        prop_assert_eq!(real, Err(FfsError::UnknownFile(f)));
+                        assert_eq!(
+                            real,
+                            Err(FfsError::UnknownFile(f)),
+                            "seed {seed}: delete of ghost {f}"
+                        );
                     }
                 }
                 Op::Flush => fs.flush_all(),
             }
             // Sizes agree at every step.
             for (&f, &size) in &model {
-                prop_assert_eq!(fs.size_of(f), Some(size), "size of {}", f);
+                assert_eq!(fs.size_of(f), Some(size), "seed {seed}: size of {f}");
             }
-            prop_assert_eq!(fs.file_count(), model.len());
+            assert_eq!(fs.file_count(), model.len(), "seed {seed}: file count");
         }
         // Flushing leaves no dirty blocks behind.
         fs.flush_all();
-        prop_assert_eq!(fs.cache().dirty_count(), 0);
+        assert_eq!(fs.cache().dirty_count(), 0, "seed {seed}: dirty blocks");
     }
 }

@@ -1,12 +1,16 @@
-//! Property-based tests of core data structures against trivial models:
+//! Randomized-model tests of core data structures against trivial models:
 //! the VM page table vs a `HashMap`, the flash device's erase/program
-//! protocol, and the statistics toolkit's numeric invariants.
+//! protocol, and the statistics toolkit's numeric invariants. Cases are
+//! generated from fixed `SimRng` seeds so every run exercises identical
+//! sequences.
 
-use proptest::prelude::*;
 use ssmc::device::{BlockId, DeviceError, Flash, FlashSpec};
-use ssmc::sim::{Clock, Histogram, OnlineStats};
+use ssmc::sim::{Clock, Histogram, OnlineStats, SimRng};
 use ssmc::vm::{Backing, PageTable, Pte};
 use std::collections::HashMap;
+
+/// Base seed for the deterministic case generator.
+const SEED: u64 = 0x9A6E_7AB1;
 
 fn pte(tag: u64) -> Pte {
     Pte {
@@ -24,55 +28,88 @@ enum TableOp {
     Get(u64),
 }
 
-fn table_op() -> impl Strategy<Value = TableOp> {
-    // Mix of nearby and far-flung VPNs exercises all radix levels.
-    let vpn = prop_oneof![0..64u64, (0..1u64 << 50).prop_map(|v| v | 1 << 40)];
-    prop_oneof![
-        3 => (vpn.clone(), any::<u64>()).prop_map(|(v, t)| TableOp::Map(v, t)),
-        1 => vpn.clone().prop_map(TableOp::Unmap),
-        2 => vpn.prop_map(TableOp::Get),
-    ]
+/// Mirrors the old proptest weights: Map 3, Unmap 1, Get 2 (total 6),
+/// with a mix of nearby and far-flung VPNs to exercise all radix levels.
+fn random_table_op(rng: &mut SimRng) -> TableOp {
+    let vpn = |rng: &mut SimRng| {
+        if rng.chance(0.5) {
+            rng.below(64)
+        } else {
+            rng.below(1 << 50) | 1 << 40
+        }
+    };
+    match rng.below(6) {
+        0..=2 => TableOp::Map(vpn(rng), rng.next_u64()),
+        3 => TableOp::Unmap(vpn(rng)),
+        _ => TableOp::Get(vpn(rng)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn page_table_matches_hashmap() {
+    for case in 0..64u64 {
+        let seed = SEED + case;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops: Vec<TableOp> = (0..1 + rng.below(199))
+            .map(|_| random_table_op(&mut rng))
+            .collect();
 
-    #[test]
-    fn page_table_matches_hashmap(ops in proptest::collection::vec(table_op(), 1..200)) {
         let mut table = PageTable::new(55);
         let mut model: HashMap<u64, u64> = HashMap::new();
         for op in ops {
             match op {
                 TableOp::Map(vpn, tag) => {
                     let old = table.map(vpn, pte(tag));
-                    prop_assert_eq!(
-                        old.map(|p| match p.backing { Backing::Frame(f) => f, _ => u64::MAX }),
-                        model.insert(vpn, tag)
+                    assert_eq!(
+                        old.map(|p| match p.backing {
+                            Backing::Frame(f) => f,
+                            _ => u64::MAX,
+                        }),
+                        model.insert(vpn, tag),
+                        "seed {seed}: map {vpn} returned wrong prior"
                     );
                 }
                 TableOp::Unmap(vpn) => {
                     let old = table.unmap(vpn);
-                    prop_assert_eq!(old.is_some(), model.remove(&vpn).is_some());
+                    assert_eq!(
+                        old.is_some(),
+                        model.remove(&vpn).is_some(),
+                        "seed {seed}: unmap {vpn} presence"
+                    );
                 }
                 TableOp::Get(vpn) => {
                     let got = table.get(vpn);
                     match model.get(&vpn) {
                         Some(&tag) => {
                             let p = got.expect("model says mapped");
-                            prop_assert_eq!(p.backing, Backing::Frame(tag));
+                            assert_eq!(
+                                p.backing,
+                                Backing::Frame(tag),
+                                "seed {seed}: get {vpn} backing"
+                            );
                         }
-                        None => prop_assert!(got.is_none()),
+                        None => assert!(got.is_none(), "seed {seed}: get of unmapped {vpn}"),
                     }
                 }
             }
-            prop_assert_eq!(table.mapped_count() as usize, model.len());
+            assert_eq!(
+                table.mapped_count() as usize,
+                model.len(),
+                "seed {seed}: mapped count"
+            );
         }
     }
+}
 
-    #[test]
-    fn flash_protocol_is_enforced(
-        ops in proptest::collection::vec((0..16u64, any::<bool>()), 1..100)
-    ) {
+#[test]
+fn flash_protocol_is_enforced() {
+    for case in 0..64u64 {
+        let seed = SEED + 1_000 + case;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops: Vec<(u64, bool)> = (0..1 + rng.below(99))
+            .map(|_| (rng.below(16), rng.chance(0.5)))
+            .collect();
+
         // Model: per 512-byte slot, is it programmed? Flash: 2 blocks of
         // 4 KB = 16 slots.
         let spec = FlashSpec {
@@ -89,45 +126,52 @@ proptest! {
                 let addr = slot * 512;
                 let result = flash.program(addr, &[slot as u8; 512]);
                 if programmed[slot as usize] {
-                    prop_assert!(
+                    assert!(
                         matches!(result, Err(DeviceError::ProgramToUnerased { .. })),
-                        "double program must fail"
+                        "seed {seed}: double program must fail"
                     );
                 } else {
-                    prop_assert!(result.is_ok(), "program of erased slot failed");
+                    assert!(result.is_ok(), "seed {seed}: program of erased slot failed");
                     programmed[slot as usize] = true;
                 }
             } else {
                 // Erase the block containing the slot.
                 let block = (slot / 8) as u32;
                 flash.erase(BlockId(block)).expect("erase within endurance");
-                for slot_state in programmed
-                    .iter_mut()
-                    .skip(block as usize * 8)
-                    .take(8)
-                {
+                for slot_state in programmed.iter_mut().skip(block as usize * 8).take(8) {
                     *slot_state = false;
                 }
             }
             // Device agrees with the model on erased state, and data of
             // programmed slots reads back.
             for s in 0..16u64 {
-                prop_assert_eq!(
+                assert_eq!(
                     flash.is_erased(s * 512, 512),
                     !programmed[s as usize],
-                    "slot {} erased-state mismatch", s
+                    "seed {seed}: slot {s} erased-state mismatch"
                 );
                 if programmed[s as usize] {
                     let mut buf = [0u8; 512];
                     flash.read(s * 512, &mut buf).expect("read");
-                    prop_assert!(buf.iter().all(|&b| b == s as u8));
+                    assert!(
+                        buf.iter().all(|&b| b == s as u8),
+                        "seed {seed}: slot {s} data diverged"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn online_stats_match_naive_computation(xs in proptest::collection::vec(-1e6..1e6f64, 1..200)) {
+#[test]
+fn online_stats_match_naive_computation() {
+    for case in 0..64u64 {
+        let seed = SEED + 2_000 + case;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..1 + rng.below(199))
+            .map(|_| -1e6 + 2e6 * rng.f64())
+            .collect();
+
         let mut s = OnlineStats::new();
         for &x in &xs {
             s.record(x);
@@ -135,35 +179,75 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
-        prop_assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
-        prop_assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        assert!(
+            (s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()),
+            "seed {seed}: mean {} vs naive {mean}",
+            s.mean()
+        );
+        assert!(
+            (s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()),
+            "seed {seed}: variance {} vs naive {var}",
+            s.variance()
+        );
+        assert_eq!(
+            s.min(),
+            xs.iter().copied().fold(f64::INFINITY, f64::min),
+            "seed {seed}: min"
+        );
+        assert_eq!(
+            s.max(),
+            xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            "seed {seed}: max"
+        );
     }
+}
 
-    #[test]
-    fn stats_merge_is_order_independent(
-        a in proptest::collection::vec(-1e5..1e5f64, 1..60),
-        b in proptest::collection::vec(-1e5..1e5f64, 1..60),
-    ) {
+#[test]
+fn stats_merge_is_order_independent() {
+    for case in 0..64u64 {
+        let seed = SEED + 3_000 + case;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..1 + rng.below(59))
+            .map(|_| -1e5 + 2e5 * rng.f64())
+            .collect();
+        let b: Vec<f64> = (0..1 + rng.below(59))
+            .map(|_| -1e5 + 2e5 * rng.f64())
+            .collect();
+
         let mut s_ab = OnlineStats::new();
         for &x in a.iter().chain(&b) {
             s_ab.record(x);
         }
         let mut s_a = OnlineStats::new();
         let mut s_b = OnlineStats::new();
-        for &x in &a { s_a.record(x); }
-        for &x in &b { s_b.record(x); }
+        for &x in &a {
+            s_a.record(x);
+        }
+        for &x in &b {
+            s_b.record(x);
+        }
         s_a.merge(&s_b);
-        prop_assert_eq!(s_a.count(), s_ab.count());
-        prop_assert!((s_a.mean() - s_ab.mean()).abs() < 1e-6 * (1.0 + s_ab.mean().abs()));
-        prop_assert!((s_a.variance() - s_ab.variance()).abs() < 1e-4 * (1.0 + s_ab.variance()));
+        assert_eq!(s_a.count(), s_ab.count(), "seed {seed}: count");
+        assert!(
+            (s_a.mean() - s_ab.mean()).abs() < 1e-6 * (1.0 + s_ab.mean().abs()),
+            "seed {seed}: merged mean diverged"
+        );
+        assert!(
+            (s_a.variance() - s_ab.variance()).abs() < 1e-4 * (1.0 + s_ab.variance()),
+            "seed {seed}: merged variance diverged"
+        );
     }
+}
 
-    #[test]
-    fn histogram_quantiles_are_ordered_and_bounded(
-        xs in proptest::collection::vec(0..1_000_000u64, 1..300)
-    ) {
+#[test]
+fn histogram_quantiles_are_ordered_and_bounded() {
+    for case in 0..64u64 {
+        let seed = SEED + 4_000 + case;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let xs: Vec<u64> = (0..1 + rng.below(299))
+            .map(|_| rng.below(1_000_000))
+            .collect();
+
         let mut h = Histogram::new();
         for &x in &xs {
             h.record(x);
@@ -171,10 +255,16 @@ proptest! {
         let q25 = h.quantile(0.25);
         let q50 = h.quantile(0.5);
         let q99 = h.quantile(0.99);
-        prop_assert!(q25 <= q50 && q50 <= q99, "quantiles out of order");
+        assert!(
+            q25 <= q50 && q50 <= q99,
+            "seed {seed}: quantiles out of order"
+        );
         let max = *xs.iter().max().expect("non-empty");
         // Log-bucketed estimate never exceeds twice the true maximum.
-        prop_assert!(q99 <= max.max(1) * 2, "q99 {} vs max {}", q99, max);
-        prop_assert_eq!(h.count(), xs.len() as u64);
+        assert!(
+            q99 <= max.max(1) * 2,
+            "seed {seed}: q99 {q99} vs max {max}"
+        );
+        assert_eq!(h.count(), xs.len() as u64, "seed {seed}: count");
     }
 }

@@ -1,4 +1,4 @@
-//! Property-based test: the storage manager against a trivial model.
+//! Randomized-model test: the storage manager against a trivial model.
 //!
 //! The model is a `HashMap<PageId, Vec<u8>>` plus a record of what was
 //! synced. Invariants checked under random operation sequences:
@@ -10,16 +10,21 @@
 //!   fabricated data, and never loses an explicitly synced page;
 //! * capacity accounting never lets live pages exceed the advertised
 //!   capacity.
+//!
+//! Cases are generated from fixed seeds by `SimRng`, so every run (and
+//! every machine) exercises the identical sequences; a failure message
+//! names the seed so the case can be replayed in isolation.
 
-use proptest::prelude::*;
 use ssmc::device::FlashSpec;
-use ssmc::sim::{Clock, SimDuration};
+use ssmc::sim::{Clock, SimDuration, SimRng};
 use ssmc::storage::{StorageConfig, StorageManager};
 use std::collections::HashMap;
 
 const PAGE: usize = 512;
 /// Keep the page universe small so overwrites and frees actually collide.
 const UNIVERSE: u64 = 48;
+/// Base seed for the deterministic case generator.
+const SEED: u64 = 0x5704_6A6E;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -31,15 +36,22 @@ enum Op {
     CrashRecover,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..UNIVERSE, any::<u8>()).prop_map(|(p, b)| Op::Write(p, b)),
-        3 => (0..UNIVERSE).prop_map(Op::Read),
-        1 => (0..UNIVERSE).prop_map(Op::Free),
-        1 => Just(Op::Sync),
-        1 => (1..120u64).prop_map(Op::Tick),
-        1 => Just(Op::CrashRecover),
-    ]
+/// Mirrors the old proptest weights: Write 4, Read 3, Free/Sync/Tick/
+/// CrashRecover 1 each (total 11).
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.below(11) {
+        0..=3 => Op::Write(rng.below(UNIVERSE), rng.below(256) as u8),
+        4..=6 => Op::Read(rng.below(UNIVERSE)),
+        7 => Op::Free(rng.below(UNIVERSE)),
+        8 => Op::Sync,
+        9 => Op::Tick(1 + rng.below(119)),
+        _ => Op::CrashRecover,
+    }
+}
+
+fn random_ops(rng: &mut SimRng, min: u64, max: u64) -> Vec<Op> {
+    let len = min + rng.below(max - min);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 fn manager() -> (StorageManager, ssmc::sim::SharedClock) {
@@ -61,141 +73,176 @@ fn manager() -> (StorageManager, ssmc::sim::SharedClock) {
     (StorageManager::new(cfg, clock.clone()), clock)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Drives one operation sequence against the model; panics (with `ctx`
+/// naming the seed) on any divergence.
+fn check_against_model(ops: &[Op], ctx: &str) {
+    let (mut sm, clock) = manager();
+    // Model: current contents, last-synced contents, and every value
+    // ever written per page (ticks may flush intermediate versions,
+    // so recovery may restore any historically written value).
+    let mut current: HashMap<u64, u8> = HashMap::new();
+    let mut synced: HashMap<u64, u8> = HashMap::new();
+    let mut history: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut buf = vec![0u8; PAGE];
 
-    #[test]
-    fn storage_manager_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let (mut sm, clock) = manager();
-        // Model: current contents, last-synced contents, and every value
-        // ever written per page (ticks may flush intermediate versions,
-        // so recovery may restore any historically written value).
-        let mut current: HashMap<u64, u8> = HashMap::new();
-        let mut synced: HashMap<u64, u8> = HashMap::new();
-        let mut history: HashMap<u64, Vec<u8>> = HashMap::new();
-        let mut buf = vec![0u8; PAGE];
-
-        for op in ops {
-            match op {
-                Op::Write(p, b) => {
-                    match sm.write_page(p, &vec![b; PAGE]) {
-                        Ok(()) => {
-                            current.insert(p, b);
-                            history.entry(p).or_default().push(b);
-                        }
-                        Err(ssmc::storage::StorageError::NoSpace) => {
-                            // Model must agree capacity was the issue.
-                            prop_assert!(
-                                !current.contains_key(&p),
-                                "NoSpace rewriting an existing page"
-                            );
-                        }
-                        Err(e) => return Err(TestCaseError::fail(format!("write: {e}"))),
-                    }
+    for op in ops {
+        match *op {
+            Op::Write(p, b) => match sm.write_page(p, &vec![b; PAGE]) {
+                Ok(()) => {
+                    current.insert(p, b);
+                    history.entry(p).or_default().push(b);
                 }
-                Op::Read(p) => {
-                    sm.read_page(p, &mut buf).expect("read");
-                    match current.get(&p) {
-                        Some(&b) => prop_assert!(
-                            buf.iter().all(|&x| x == b),
-                            "page {p} expected {b}, got {}", buf[0]
-                        ),
-                        None => prop_assert!(
-                            buf.iter().all(|&x| x == 0),
-                            "hole {p} must read zeros"
-                        ),
-                    }
+                Err(ssmc::storage::StorageError::NoSpace) => {
+                    // Model must agree capacity was the issue.
+                    assert!(
+                        !current.contains_key(&p),
+                        "{ctx}: NoSpace rewriting an existing page"
+                    );
                 }
-                Op::Free(p) => {
-                    sm.free_page(p).expect("free");
-                    current.remove(&p);
-                }
-                Op::Sync => {
-                    sm.sync().expect("sync");
-                    synced = current.clone();
-                }
-                Op::Tick(secs) => {
-                    clock.advance(SimDuration::from_secs(secs));
-                    sm.tick().expect("tick");
-                    // Ticks may flush buffered pages; anything that
-                    // reached flash is as good as synced, but we cannot
-                    // see which — conservatively leave `synced` alone
-                    // (recovery may restore MORE than `synced`, checked
-                    // below as a superset property only for deletes).
-                }
-                Op::CrashRecover => {
-                    sm.crash();
-                    sm.recover().expect("recover");
-                    // Recovery restores the latest *durable* version of
-                    // each page. Explicit syncs and background ticks both
-                    // flush, so the recovered value may be any version
-                    // ever written — but never garbage, and synced pages
-                    // must exist.
-                    for &p in synced.keys() {
-                        if current.contains_key(&p) {
-                            prop_assert!(sm.contains(p), "synced page {p} lost");
-                            sm.read_page(p, &mut buf).expect("read");
-                            prop_assert!(buf.iter().all(|&x| x == buf[0]));
-                            let known = history.get(&p).cloned().unwrap_or_default();
-                            prop_assert!(
-                                known.contains(&buf[0]),
-                                "page {p}: recovered {} was never written",
-                                buf[0]
-                            );
-                        }
-                    }
-                    // Reset the model to what the device now reports.
-                    let mut rebuilt: HashMap<u64, u8> = HashMap::new();
-                    for p in 0..UNIVERSE {
-                        if sm.contains(p) {
-                            sm.read_page(p, &mut buf).expect("read");
-                            rebuilt.insert(p, buf[0]);
-                        }
-                    }
-                    current = rebuilt.clone();
-                    synced = rebuilt;
+                Err(e) => panic!("{ctx}: write: {e}"),
+            },
+            Op::Read(p) => {
+                sm.read_page(p, &mut buf).expect("read");
+                match current.get(&p) {
+                    Some(&b) => assert!(
+                        buf.iter().all(|&x| x == b),
+                        "{ctx}: page {p} expected {b}, got {}",
+                        buf[0]
+                    ),
+                    None => assert!(
+                        buf.iter().all(|&x| x == 0),
+                        "{ctx}: hole {p} must read zeros"
+                    ),
                 }
             }
-            // Global invariant: live pages within capacity.
-            prop_assert!(sm.pages_live() <= sm.page_capacity() + 1);
+            Op::Free(p) => {
+                sm.free_page(p).expect("free");
+                current.remove(&p);
+            }
+            Op::Sync => {
+                sm.sync().expect("sync");
+                synced = current.clone();
+            }
+            Op::Tick(secs) => {
+                clock.advance(SimDuration::from_secs(secs));
+                sm.tick().expect("tick");
+                // Ticks may flush buffered pages; anything that
+                // reached flash is as good as synced, but we cannot
+                // see which — conservatively leave `synced` alone
+                // (recovery may restore MORE than `synced`, checked
+                // below as a superset property only for deletes).
+            }
+            Op::CrashRecover => {
+                sm.crash();
+                sm.recover().expect("recover");
+                // Recovery restores the latest *durable* version of
+                // each page. Explicit syncs and background ticks both
+                // flush, so the recovered value may be any version
+                // ever written — but never garbage, and synced pages
+                // must exist.
+                for &p in synced.keys() {
+                    if current.contains_key(&p) {
+                        assert!(sm.contains(p), "{ctx}: synced page {p} lost");
+                        sm.read_page(p, &mut buf).expect("read");
+                        assert!(buf.iter().all(|&x| x == buf[0]));
+                        let known = history.get(&p).cloned().unwrap_or_default();
+                        assert!(
+                            known.contains(&buf[0]),
+                            "{ctx}: page {p}: recovered {} was never written",
+                            buf[0]
+                        );
+                    }
+                }
+                // Reset the model to what the device now reports.
+                let mut rebuilt: HashMap<u64, u8> = HashMap::new();
+                for p in 0..UNIVERSE {
+                    if sm.contains(p) {
+                        sm.read_page(p, &mut buf).expect("read");
+                        rebuilt.insert(p, buf[0]);
+                    }
+                }
+                current = rebuilt.clone();
+                synced = rebuilt;
+            }
         }
+        // Global invariant: live pages within capacity.
+        assert!(
+            sm.pages_live() <= sm.page_capacity() + 1,
+            "{ctx}: live pages exceed capacity"
+        );
     }
+}
 
-    #[test]
-    fn synced_state_always_survives_crash(
-        writes in proptest::collection::vec((0..UNIVERSE, any::<u8>()), 1..40),
-        extra in proptest::collection::vec((0..UNIVERSE, any::<u8>()), 0..20),
-    ) {
+#[test]
+fn storage_manager_matches_model() {
+    for case in 0..48u64 {
+        let seed = SEED + case;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ops = random_ops(&mut rng, 1, 120);
+        check_against_model(&ops, &format!("seed {seed}"));
+    }
+}
+
+/// Regression distilled by the old proptest shrinker: a page written,
+/// synced, rewritten, tick-flushed, rewritten again and then crashed must
+/// recover to one of its historically written values.
+#[test]
+fn storage_regression_synced_page_survives_tick_flush() {
+    let ops = [
+        Op::Write(23, 0),
+        Op::Sync,
+        Op::Write(23, 1),
+        Op::Tick(30),
+        Op::Write(23, 2),
+        Op::CrashRecover,
+    ];
+    check_against_model(&ops, "regression");
+}
+
+#[test]
+fn synced_state_always_survives_crash() {
+    for case in 0..48u64 {
+        let seed = SEED + 1_000 + case;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let writes: Vec<(u64, u8)> = (0..1 + rng.below(39))
+            .map(|_| (rng.below(UNIVERSE), rng.below(256) as u8))
+            .collect();
+        let extra: Vec<(u64, u8)> = (0..rng.below(20))
+            .map(|_| (rng.below(UNIVERSE), rng.below(256) as u8))
+            .collect();
+
         let (mut sm, _clock) = manager();
         let mut model: HashMap<u64, u8> = HashMap::new();
-        for (p, b) in writes {
+        for &(p, b) in &writes {
             if sm.write_page(p, &vec![b; PAGE]).is_ok() {
                 model.insert(p, b);
             }
         }
         sm.sync().expect("sync");
         // Unsynced extra writes may revert.
-        for (p, b) in extra {
+        for &(p, b) in &extra {
             let _ = sm.write_page(p, &vec![b; PAGE]);
         }
         sm.crash();
         sm.recover().expect("recover");
         let mut buf = vec![0u8; PAGE];
-        for (p, b) in model {
-            prop_assert!(sm.contains(p), "synced page {p} lost");
+        for (p, _b) in model {
+            assert!(sm.contains(p), "seed {seed}: synced page {p} lost");
             sm.read_page(p, &mut buf).expect("read");
             // Either the synced value or a newer flushed one; since the
             // extra writes used the same universe, accept any uniform
             // non-hole value.
-            prop_assert!(buf.iter().all(|&x| x == buf[0]));
-            let _ = b;
+            assert!(
+                buf.iter().all(|&x| x == buf[0]),
+                "seed {seed}: page {p} not uniform"
+            );
         }
     }
+}
 
-    #[test]
-    fn wear_accounting_is_consistent(
-        rounds in 1..12u64,
-    ) {
+#[test]
+fn wear_accounting_is_consistent() {
+    for rounds in 1..12u64 {
         let (mut sm, clock) = manager();
         let data = vec![3u8; PAGE];
         for r in 0..rounds * 30 {
@@ -207,8 +254,8 @@ proptest! {
             }
         }
         let stats = sm.flash().wear_stats();
-        prop_assert_eq!(stats.total_erases, sm.flash().counters().erases);
-        prop_assert!(stats.max_erases >= stats.min_erases);
-        prop_assert!(stats.evenness() >= 0.0 && stats.evenness() <= 1.0);
+        assert_eq!(stats.total_erases, sm.flash().counters().erases);
+        assert!(stats.max_erases >= stats.min_erases);
+        assert!(stats.evenness() >= 0.0 && stats.evenness() <= 1.0);
     }
 }
