@@ -1,0 +1,58 @@
+//! Ad-hoc replay profiler: replays the throughput-bench BSD trace and
+//! reports cumulative host time per trace-operation kind.
+
+use ssmc_core::{MachineConfig, MobileComputer};
+use ssmc_trace::{FileOp, GeneratorConfig, TraceTarget, Workload};
+use std::time::Instant;
+
+fn main() {
+    let trace = GeneratorConfig::new(Workload::Bsd)
+        .with_ops(25_000)
+        .with_max_live_bytes(4 << 20)
+        .generate();
+    let mut cfg = MachineConfig::with_sizes("throughput", 8 << 20, 24 << 20);
+    cfg.write_buffer_bytes = Some(1 << 20);
+    let mut m = MobileComputer::new(cfg);
+
+    let mut time = [0f64; 6];
+    let mut count = [0u64; 6];
+    let names = ["create", "write", "read", "truncate", "delete", "sync"];
+    let start = Instant::now();
+    for r in &trace.records {
+        let k = match r.op {
+            FileOp::Create { .. } => 0,
+            FileOp::Write { .. } => 1,
+            FileOp::Read { .. } => 2,
+            FileOp::Truncate { .. } => 3,
+            FileOp::Delete { .. } => 4,
+            FileOp::Sync => 5,
+        };
+        let t = Instant::now();
+        m.apply(&r.op).expect("replay");
+        time[k] += t.elapsed().as_secs_f64();
+        count[k] += 1;
+    }
+    let total = start.elapsed().as_secs_f64();
+    println!("total: {:.3}s  {:.0} ops/sec", total, 25_000.0 / total);
+    // How much of each op is the per-op maintenance sweep?
+    let t = Instant::now();
+    for _ in 0..100_000 {
+        m.maintain();
+    }
+    println!(
+        "maintain   100000 ops  {:>9.1} ns/op (steady-state)",
+        t.elapsed().as_secs_f64() * 1e9 / 100_000.0
+    );
+    for i in 0..6 {
+        if count[i] == 0 {
+            continue;
+        }
+        println!(
+            "{:<10} {:>7} ops  {:>9.1} ns/op  {:>6.1}% of total",
+            names[i],
+            count[i],
+            time[i] * 1e9 / count[i] as f64,
+            100.0 * time[i] / total
+        );
+    }
+}

@@ -11,10 +11,9 @@ use ssmc_baseline::{BaselineConfig, DiskFs};
 use ssmc_device::{Battery, BatterySpec, BatteryState};
 use ssmc_memfs::{FileMap, FsError, MemFs, OpenMode};
 use ssmc_sim::{Clock, Energy, SharedClock, SimDuration, SimTime};
-use ssmc_storage::{RecoveryReport, StorageManager};
+use ssmc_storage::{DenseIndex, RecoveryReport, StorageManager};
 use ssmc_trace::{FileId, FileOp, TraceTarget};
 use ssmc_vm::{launch, LaunchStats, Vm, VmConfig, VmError};
-use std::collections::HashMap;
 
 /// The solid-state mobile computer.
 #[derive(Debug)]
@@ -24,8 +23,13 @@ pub struct MobileComputer {
     fs: MemFs,
     vm: Vm,
     battery: Battery,
-    /// Trace file-id → (path, lazily opened fd).
-    trace_files: HashMap<FileId, u64>,
+    /// Trace file-id → lazily opened fd. Trace generators hand out small
+    /// sequential file ids, so the dense index resolves them without
+    /// hashing on every replayed operation.
+    trace_files: DenseIndex<u64>,
+    /// Reusable scratch for synthesising trace write payloads and sinking
+    /// trace reads, so replay allocates nothing per operation.
+    io_scratch: Vec<u8>,
     drained: Energy,
     last_maintain: SimTime,
 }
@@ -53,7 +57,8 @@ impl MobileComputer {
         );
         let battery = Battery::new(cfg.battery.clone());
         MobileComputer {
-            trace_files: HashMap::new(),
+            trace_files: DenseIndex::new(1 << 16),
+            io_scratch: Vec::new(),
             drained: Energy::ZERO,
             last_maintain: clock.now(),
             cfg,
@@ -91,9 +96,9 @@ impl MobileComputer {
 
     /// Total energy consumed by all devices so far.
     pub fn total_energy(&self) -> Energy {
-        let mut e = self.fs.storage().total_energy().total();
-        e += self.vm.dram().energy().total();
-        e
+        // Scalar sums only: `maintain` runs before every trace operation,
+        // so building an itemised ledger here would dominate replay.
+        self.fs.storage().energy_total() + self.vm.dram().energy().total()
     }
 
     /// Periodic maintenance: charge idle power for elapsed time, drain the
@@ -217,7 +222,7 @@ impl MobileComputer {
     }
 
     fn trace_fd(&mut self, file: FileId) -> Result<u64, FsError> {
-        if let Some(&fd) = self.trace_files.get(&file) {
+        if let Some(fd) = self.trace_files.get(file) {
             return Ok(fd);
         }
         let fd = self.fs.open(&Self::trace_path(file), OpenMode::Write)?;
@@ -236,20 +241,22 @@ impl TraceTarget for MobileComputer {
             }
             FileOp::Write { file, offset, len } => {
                 let fd = self.trace_fd(file)?;
-                let data = vec![0xA5u8; len as usize];
-                self.fs.write(fd, offset, &data)?;
+                self.io_scratch.clear();
+                self.io_scratch.resize(len as usize, 0xA5);
+                self.fs.write(fd, offset, &self.io_scratch)?;
             }
             FileOp::Read { file, offset, len } => {
                 let fd = self.trace_fd(file)?;
-                let mut buf = vec![0u8; len as usize];
-                self.fs.read(fd, offset, &mut buf)?;
+                self.io_scratch.clear();
+                self.io_scratch.resize(len as usize, 0);
+                self.fs.read(fd, offset, &mut self.io_scratch)?;
             }
             FileOp::Truncate { file, len } => {
                 let fd = self.trace_fd(file)?;
                 self.fs.ftruncate(fd, len)?;
             }
             FileOp::Delete { file } => {
-                self.trace_files.remove(&file);
+                self.trace_files.remove(file);
                 self.fs.unlink(&Self::trace_path(file))?;
             }
             FileOp::Sync => self.fs.sync()?,

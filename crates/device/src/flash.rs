@@ -307,6 +307,14 @@ impl Flash {
         self.counters
     }
 
+    /// The raw array contents, as a flat byte view over the whole address
+    /// space. This is an inspection hook for tests and verification tools:
+    /// unlike [`Flash::read`], it moves no simulated time and charges no
+    /// energy.
+    pub fn contents(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Per-component energy consumed so far.
     pub fn energy(&self) -> &EnergyLedger {
         &self.energy

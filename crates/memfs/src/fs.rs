@@ -9,6 +9,15 @@ use crate::Result;
 use ssmc_storage::{PageId, RecoveryReport, StorageManager};
 use std::collections::{HashMap, HashSet, VecDeque};
 
+/// DRAM-resident index of one directory: name → (slot, ino), plus the
+/// freed dirent slots available for reuse (LIFO, matching the slot-scan
+/// order the pre-index implementation produced).
+#[derive(Debug, Default)]
+struct DirIndex {
+    names: HashMap<String, (u64, Ino)>,
+    free_slots: Vec<u64>,
+}
+
 /// How a descriptor was opened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpenMode {
@@ -106,18 +115,22 @@ pub struct MemFs {
     sm: StorageManager,
     policy: WritePolicy,
     next_fd: u64,
-    fds: HashMap<u64, (Ino, OpenMode)>,
+    /// Descriptor table, indexed directly by fd (descriptors are issued
+    /// sequentially, so the table is dense).
+    fds: Vec<Option<(Ino, OpenMode)>>,
     free_inos: Vec<Ino>,
     next_ino: Ino,
     metrics: FsMetrics,
-    /// DRAM-resident directory index: (dir, name) → (slot, ino). The
-    /// paper's single-level store makes directories memory-resident; this
-    /// is the in-memory hash a real implementation would use instead of a
-    /// buffer cache, maintained incrementally and rebuilt at mount and by
-    /// fsck from the durable slot layout.
-    dindex: HashMap<(Ino, String), (u64, Ino)>,
-    /// Free dirent slots per directory (from deletions), reused by adds.
-    dir_free_slots: HashMap<Ino, Vec<u64>>,
+    /// DRAM-resident directory index, slab-indexed by the directory's ino
+    /// (inos are issued sequentially). The paper's single-level store makes
+    /// directories memory-resident; this is the in-memory structure a real
+    /// implementation would use instead of a buffer cache, maintained
+    /// incrementally and rebuilt at mount and by fsck from the durable
+    /// slot layout. Lookups key the per-directory map by `&str`, so path
+    /// resolution allocates nothing.
+    dirs: Vec<Option<DirIndex>>,
+    /// Recycled page-sized scratch buffer for sub-page reads and RMW.
+    scratch: Vec<u8>,
 }
 
 impl MemFs {
@@ -131,12 +144,12 @@ impl MemFs {
             sm,
             policy,
             next_fd: 3,
-            fds: HashMap::new(),
+            fds: Vec::new(),
             free_inos: Vec::new(),
             next_ino: ROOT_INO + 1,
             metrics: FsMetrics::default(),
-            dindex: HashMap::new(),
-            dir_free_slots: HashMap::new(),
+            dirs: Vec::new(),
+            scratch: Vec::new(),
         };
         match fs.read_superblock()? {
             Some(sb) => {
@@ -181,10 +194,23 @@ impl MemFs {
     // Low-level page helpers
     // ------------------------------------------------------------------
 
+    /// Reads a page into the recycled scratch buffer and hands it over.
+    /// Callers return it with [`MemFs::put_buf`] when done; `read_page`
+    /// overwrites every byte, so stale contents never leak through.
     fn read_page_buf(&mut self, page: PageId) -> Result<Vec<u8>> {
-        let mut buf = vec![0u8; self.page_size() as usize];
+        let mut buf = std::mem::take(&mut self.scratch);
+        let ps = self.page_size() as usize;
+        if buf.len() != ps {
+            buf.clear();
+            buf.resize(ps, 0);
+        }
         self.sm.read_page(page, &mut buf)?;
         Ok(buf)
+    }
+
+    /// Returns a buffer from [`MemFs::read_page_buf`] for reuse.
+    fn put_buf(&mut self, buf: Vec<u8>) {
+        self.scratch = buf;
     }
 
     /// Read-modify-write of a sub-page byte range.
@@ -192,6 +218,7 @@ impl MemFs {
         let mut buf = self.read_page_buf(page)?;
         buf[offset..offset + bytes.len()].copy_from_slice(bytes);
         self.sm.write_page(page, &buf)?;
+        self.put_buf(buf);
         Ok(())
     }
 
@@ -204,7 +231,9 @@ impl MemFs {
             return Ok(None);
         }
         let page = self.read_page_buf(window(0))?;
-        Ok(Superblock::decode(&page))
+        let sb = Superblock::decode(&page);
+        self.put_buf(page);
+        Ok(sb)
     }
 
     fn write_superblock(&mut self) -> Result<()> {
@@ -232,7 +261,9 @@ impl MemFs {
     fn read_inode(&mut self, ino: Ino) -> Result<Inode> {
         let (page, offset) = self.inode_loc(ino);
         let buf = self.read_page_buf(page)?;
-        Ok(Inode::decode(&buf[offset..offset + INODE_BYTES]))
+        let inode = Inode::decode(&buf[offset..offset + INODE_BYTES]);
+        self.put_buf(buf);
+        Ok(inode)
     }
 
     fn write_inode(&mut self, ino: Ino, inode: &Inode) -> Result<()> {
@@ -291,7 +322,9 @@ impl MemFs {
     fn read_dirent(&mut self, dir: Ino, slot: u64) -> Result<Option<DirEntry>> {
         let (page, offset) = self.dirent_loc(dir, slot);
         let buf = self.read_page_buf(page)?;
-        Ok(DirEntry::decode(&buf[offset..offset + DIRENT_BYTES]))
+        let entry = DirEntry::decode(&buf[offset..offset + DIRENT_BYTES]);
+        self.put_buf(buf);
+        Ok(entry)
     }
 
     fn write_dirent_slot(&mut self, dir: Ino, slot: u64, bytes: &[u8; DIRENT_BYTES]) -> Result<()> {
@@ -310,16 +343,29 @@ impl MemFs {
         Ok(out)
     }
 
+    /// The directory's DRAM index, created on first use.
+    fn dir_index_mut(&mut self, dir: Ino) -> &mut DirIndex {
+        let idx = dir as usize;
+        if self.dirs.len() <= idx {
+            self.dirs.resize_with(idx + 1, || None);
+        }
+        self.dirs[idx].get_or_insert_with(DirIndex::default)
+    }
+
     fn dir_lookup(&mut self, dir: Ino, _dir_size: u64, name: &str) -> Result<Option<(u64, Ino)>> {
-        Ok(self.dindex.get(&(dir, name.to_owned())).copied())
+        Ok(self
+            .dirs
+            .get(dir as usize)
+            .and_then(|d| d.as_ref())
+            .and_then(|d| d.names.get(name))
+            .copied())
     }
 
     /// Rebuilds the DRAM directory index and free-slot lists by scanning
     /// the durable slot layout (mount and post-recovery path; charges the
     /// page reads a real scan would).
     fn rebuild_dindex(&mut self) -> Result<()> {
-        self.dindex.clear();
-        self.dir_free_slots.clear();
+        self.dirs.clear();
         let mut queue: VecDeque<Ino> = VecDeque::new();
         queue.push_back(ROOT_INO);
         let mut seen: HashSet<Ino> = HashSet::new();
@@ -333,10 +379,10 @@ impl MemFs {
                         if target.kind == InodeKind::Dir && seen.insert(e.ino) {
                             queue.push_back(e.ino);
                         }
-                        self.dindex.insert((dir, e.name), (slot, e.ino));
+                        self.dir_index_mut(dir).names.insert(e.name, (slot, e.ino));
                     }
                     None => {
-                        self.dir_free_slots.entry(dir).or_default().push(slot);
+                        self.dir_index_mut(dir).free_slots.push(slot);
                     }
                 }
             }
@@ -346,7 +392,7 @@ impl MemFs {
 
     fn dir_add(&mut self, dir: Ino, entry: &DirEntry) -> Result<()> {
         // Reuse a freed slot if one exists, else append.
-        let reused = self.dir_free_slots.get_mut(&dir).and_then(Vec::pop);
+        let reused = self.dir_index_mut(dir).free_slots.pop();
         let slot = match reused {
             Some(slot) => {
                 self.write_dirent_slot(dir, slot, &entry.encode())?;
@@ -362,16 +408,17 @@ impl MemFs {
                 slot
             }
         };
-        self.dindex
-            .insert((dir, entry.name.clone()), (slot, entry.ino));
+        self.dir_index_mut(dir)
+            .names
+            .insert(entry.name.clone(), (slot, entry.ino));
         Ok(())
     }
 
     fn dir_remove_slot(&mut self, dir: Ino, slot: u64) -> Result<()> {
         self.write_dirent_slot(dir, slot, &[0u8; DIRENT_BYTES])?;
-        self.dindex
-            .retain(|(d, _), (s, _)| !(*d == dir && *s == slot));
-        self.dir_free_slots.entry(dir).or_default().push(slot);
+        let d = self.dir_index_mut(dir);
+        d.names.retain(|_, (s, _)| *s != slot);
+        d.free_slots.push(slot);
         Ok(())
     }
 
@@ -448,10 +495,7 @@ impl MemFs {
             },
         )?;
         self.metrics.creates += 1;
-        let fd = self.next_fd;
-        self.next_fd += 1;
-        self.fds.insert(fd, (ino, OpenMode::Write));
-        Ok(fd)
+        Ok(self.alloc_fd(ino, OpenMode::Write))
     }
 
     /// Creates a directory.
@@ -501,13 +545,22 @@ impl MemFs {
                 let page = file_page(ino, i);
                 let buf = self.read_page_buf(page)?;
                 self.sm.write_page(page, &buf)?;
+                self.put_buf(buf);
                 self.metrics.copy_on_open_bytes += ps;
             }
         }
+        Ok(self.alloc_fd(ino, mode))
+    }
+
+    /// Issues the next descriptor and records it in the dense fd table.
+    fn alloc_fd(&mut self, ino: Ino, mode: OpenMode) -> u64 {
         let fd = self.next_fd;
         self.next_fd += 1;
-        self.fds.insert(fd, (ino, mode));
-        Ok(fd)
+        if self.fds.len() <= fd as usize {
+            self.fds.resize(fd as usize + 1, None);
+        }
+        self.fds[fd as usize] = Some((ino, mode));
+        fd
     }
 
     /// Closes a descriptor.
@@ -516,11 +569,22 @@ impl MemFs {
     ///
     /// [`FsError::BadFd`] if the descriptor is unknown.
     pub fn close(&mut self, fd: u64) -> Result<()> {
-        self.fds.remove(&fd).map(|_| ()).ok_or(FsError::BadFd)
+        match self.fds.get_mut(fd as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                Ok(())
+            }
+            _ => Err(FsError::BadFd),
+        }
     }
 
     fn fd_ino(&self, fd: u64, need_write: bool) -> Result<Ino> {
-        let (ino, mode) = *self.fds.get(&fd).ok_or(FsError::BadFd)?;
+        let (ino, mode) = self
+            .fds
+            .get(fd as usize)
+            .copied()
+            .flatten()
+            .ok_or(FsError::BadFd)?;
         if need_write && mode != OpenMode::Write {
             return Err(FsError::ReadOnly);
         }
@@ -588,6 +652,7 @@ impl MemFs {
             let chunk = ((ps as usize) - within).min(want - pos);
             let page_buf = self.read_page_buf(file_page(ino, page_idx))?;
             buf[pos..pos + chunk].copy_from_slice(&page_buf[within..within + chunk]);
+            self.put_buf(page_buf);
             pos += chunk;
         }
         self.metrics.reads += 1;
@@ -717,7 +782,11 @@ impl MemFs {
         self.write_inode(ino, &Inode::decode(&[0u8; INODE_BYTES]))?;
         self.free_inos.push(ino);
         // Any descriptor pointing at the dead inode becomes invalid.
-        self.fds.retain(|_, (i, _)| *i != ino);
+        for slot in &mut self.fds {
+            if matches!(slot, Some((i, _)) if *i == ino) {
+                *slot = None;
+            }
+        }
         Ok(())
     }
 
@@ -853,8 +922,7 @@ impl MemFs {
     /// Simulates battery death.
     pub fn crash(&mut self) {
         self.fds.clear();
-        self.dindex.clear();
-        self.dir_free_slots.clear();
+        self.dirs.clear();
         self.sm.crash();
     }
 

@@ -191,11 +191,13 @@ impl EnergyLedger {
         if e == Energy::ZERO {
             return;
         }
-        let acct = self
-            .accounts
-            .entry(component.to_owned())
-            .or_insert(Energy::ZERO);
-        *acct = acct.saturating_add(e);
+        // Look up by `&str` first: charging is on the per-access device
+        // path, and `entry` would allocate the key string every call.
+        if let Some(acct) = self.accounts.get_mut(component) {
+            *acct = acct.saturating_add(e);
+        } else {
+            self.accounts.insert(component.to_owned(), e);
+        }
     }
 
     /// Charges `power × duration` to `component`.

@@ -9,16 +9,22 @@
 //! Pages are indexed by last-write time so the flush policy can write back
 //! exactly the pages that have gone cold, keeping write-hot data in DRAM as
 //! §3.3 prescribes.
+//!
+//! Bookkeeping is slab-style: frame metadata lives in a flat array indexed
+//! by frame number, and the page→frame lookup goes through the shared
+//! [`DenseIndex`], so the per-write hot path (insert/touch/remove) does no
+//! hashing and no allocation.
 
+use crate::dense::DenseIndex;
 use crate::map::PageId;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use ssmc_sim::SimTime;
 
-/// Bookkeeping for one buffered page.
+/// Bookkeeping for one occupied page frame.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
-    frame: usize,
+struct FrameMeta {
+    page: PageId,
     /// Instant of the most recent write (LRW ordering key).
     last_write: SimTime,
     /// Instant the page first became dirty (data-at-risk age).
@@ -30,7 +36,10 @@ struct Entry {
 pub struct WriteBuffer {
     capacity: usize,
     free: Vec<usize>,
-    entries: HashMap<PageId, Entry>,
+    /// Frame slab: metadata for each occupied frame, by frame number.
+    frames: Vec<Option<FrameMeta>>,
+    /// Page → frame number.
+    index: DenseIndex<usize>,
     /// Last-write-time index for cold-first flushing.
     lrw: BTreeSet<(SimTime, PageId)>,
 }
@@ -41,7 +50,8 @@ impl WriteBuffer {
         WriteBuffer {
             capacity: frames,
             free: (0..frames).rev().collect(),
-            entries: HashMap::new(),
+            frames: vec![None; frames],
+            index: DenseIndex::new(crate::map::DEFAULT_DENSE_PAGES),
             lrw: BTreeSet::new(),
         }
     }
@@ -53,12 +63,12 @@ impl WriteBuffer {
 
     /// Dirty pages currently buffered.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether no pages are buffered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Whether every frame is occupied.
@@ -71,38 +81,39 @@ impl WriteBuffer {
         if self.capacity == 0 {
             1.0
         } else {
-            self.entries.len() as f64 / self.capacity as f64
+            self.index.len() as f64 / self.capacity as f64
         }
     }
 
     /// Whether `page` is buffered.
     pub fn contains(&self, page: PageId) -> bool {
-        self.entries.contains_key(&page)
+        self.index.contains(page)
     }
 
     /// Frame index of a buffered page.
     pub fn frame_of(&self, page: PageId) -> Option<usize> {
-        self.entries.get(&page).map(|e| e.frame)
+        self.index.get(page)
     }
 
     /// Instant `page` first became dirty.
     pub fn dirty_since(&self, page: PageId) -> Option<SimTime> {
-        self.entries.get(&page).map(|e| e.dirty_since)
+        self.index
+            .get(page)
+            .and_then(|f| self.frames[f])
+            .map(|m| m.dirty_since)
     }
 
     /// Inserts a new dirty page, returning its frame, or `None` if the
     /// buffer is full (caller must flush first).
     pub fn insert(&mut self, page: PageId, now: SimTime) -> Option<usize> {
-        debug_assert!(!self.entries.contains_key(&page), "page already buffered");
+        debug_assert!(!self.index.contains(page), "page already buffered");
         let frame = self.free.pop()?;
-        self.entries.insert(
+        self.frames[frame] = Some(FrameMeta {
             page,
-            Entry {
-                frame,
-                last_write: now,
-                dirty_since: now,
-            },
-        );
+            last_write: now,
+            dirty_since: now,
+        });
+        self.index.insert(page, frame);
         self.lrw.insert((now, page));
         Some(frame)
     }
@@ -114,25 +125,25 @@ impl WriteBuffer {
     ///
     /// Panics if the page is not buffered.
     pub fn touch(&mut self, page: PageId, now: SimTime) -> usize {
-        let e = self
-            .entries
-            .get_mut(&page)
-            .expect("touch of unbuffered page");
-        let removed = self.lrw.remove(&(e.last_write, page));
+        let frame = self.index.get(page).expect("touch of unbuffered page");
+        let meta = self.frames[frame].as_mut().expect("frame slab out of sync");
+        let removed = self.lrw.remove(&(meta.last_write, page));
         debug_assert!(removed);
-        e.last_write = now;
+        meta.last_write = now;
         self.lrw.insert((now, page));
-        e.frame
+        frame
     }
 
     /// Removes a page (flushed or cancelled), returning its frame to the
     /// free pool.
     pub fn remove(&mut self, page: PageId) -> Option<usize> {
-        let e = self.entries.remove(&page)?;
-        let removed = self.lrw.remove(&(e.last_write, page));
+        let frame = self.index.remove(page)?;
+        let meta = self.frames[frame].take().expect("frame slab out of sync");
+        debug_assert_eq!(meta.page, page);
+        let removed = self.lrw.remove(&(meta.last_write, page));
         debug_assert!(removed);
-        self.free.push(e.frame);
-        Some(e.frame)
+        self.free.push(frame);
+        Some(frame)
     }
 
     /// The coldest page (least recently written), if any.
@@ -158,7 +169,7 @@ impl WriteBuffer {
 
     /// All buffered pages, coldest (least recently written) first.
     ///
-    /// Iterates the LRW index rather than the hash map so the order is
+    /// Iterates the LRW index rather than the frame slab so the order is
     /// deterministic: sync-time flushes land on flash in the same order
     /// on every run, which fixed-seed reproducibility depends on.
     pub fn pages(&self) -> Vec<PageId> {
@@ -168,7 +179,8 @@ impl WriteBuffer {
     /// Drops every entry without returning frames individually (battery
     /// death: the data is gone anyway). The buffer is reusable afterwards.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.index.clear();
+        self.frames.fill(None);
         self.lrw.clear();
         self.free = (0..self.capacity).rev().collect();
     }
@@ -252,5 +264,18 @@ mod tests {
         assert_eq!(b.fill_fraction(), 0.0);
         b.insert(1, t(0));
         assert!((b.fill_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_assignment_order_matches_a_fresh_stack() {
+        // Frames hand out lowest-first from a fresh buffer and LIFO after
+        // removals — the exact order the pre-slab implementation used,
+        // which DRAM addresses (and so the flash image) depend on.
+        let mut b = WriteBuffer::new(3);
+        assert_eq!(b.insert(10, t(0)), Some(0));
+        assert_eq!(b.insert(11, t(0)), Some(1));
+        b.remove(10);
+        assert_eq!(b.insert(12, t(1)), Some(0));
+        assert_eq!(b.insert(13, t(1)), Some(2));
     }
 }

@@ -113,6 +113,11 @@ pub struct StorageConfig {
     /// Reserve two blocks as a checkpoint ping-pong area and write a map
     /// snapshot on every `sync`.
     pub checkpointing: bool,
+    /// Dense-slot bound of the page map: ids whose low 32 bits are below
+    /// this are tracked in flat per-window arrays (two array indexes per
+    /// lookup); the rest fall back to a sorted overflow map. The default
+    /// covers 32 MB of 512-byte pages per file window.
+    pub dense_map_pages: u64,
 }
 
 impl Default for StorageConfig {
@@ -133,6 +138,7 @@ impl Default for StorageConfig {
             gc_target_segments: 8,
             max_utilization: 0.85,
             checkpointing: true,
+            dense_map_pages: crate::map::DEFAULT_DENSE_PAGES,
         }
     }
 }
@@ -170,6 +176,10 @@ impl StorageConfig {
         assert!(
             (0.0..=1.0).contains(&self.max_utilization),
             "utilisation must be a fraction"
+        );
+        assert!(
+            self.dense_map_pages > 0,
+            "the dense page-map bound must cover at least one slot"
         );
         if let BankPolicy::ReadMostlyPartition { read_banks } = self.bank_policy {
             assert!(

@@ -26,18 +26,22 @@
 
 pub mod buffer;
 pub mod config;
+pub mod dense;
 pub mod error;
 pub mod gc;
 pub mod manager;
 pub mod map;
 pub mod metrics;
+pub mod pool;
 pub mod recovery;
 pub mod segment;
 
 pub use config::{BankPolicy, FlushPolicy, GcPolicy, Placement, StorageConfig, WearLeveling};
+pub use dense::DenseIndex;
 pub use error::StorageError;
 pub use manager::StorageManager;
-pub use map::{Location, PageId};
+pub use map::{Location, PageId, PageMap};
+pub use pool::PagePool;
 pub use metrics::StorageMetrics;
 pub use recovery::RecoveryReport;
 

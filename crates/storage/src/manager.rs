@@ -20,11 +20,12 @@ use crate::error::StorageError;
 use crate::gc::{pick_coldest, pick_victim};
 use crate::map::{Location, PageId, PageMap};
 use crate::metrics::StorageMetrics;
+use crate::pool::PagePool;
 use crate::recovery::RecoveryReport;
 use crate::segment::{SegState, SegmentTable, SlotMeta};
 use crate::Result;
 use ssmc_device::{DeviceError, Dram, Flash};
-use ssmc_sim::{EnergyLedger, SharedClock, SimDuration, SimTime};
+use ssmc_sim::{Energy, EnergyLedger, SharedClock, SimDuration, SimTime};
 use std::collections::BTreeSet;
 
 /// Which write head a segment is opened for.
@@ -84,6 +85,11 @@ pub struct StorageManager {
     open_write: Option<usize>,
     open_cold: Option<usize>,
     pending_tombstones: Vec<(PageId, u64)>,
+    /// Recycled page-sized scratch buffers for flush/GC/checkpoint paths.
+    pool: PagePool,
+    /// Cached wear spread keyed by `(total erases, retired segments)`:
+    /// the per-tick wear-leveling check only rescans after an erase.
+    wear_spread: Option<(u64, usize, (u64, u64))>,
     metrics: StorageMetrics,
     crashed: bool,
     crash_buffered: Vec<PageId>,
@@ -105,11 +111,8 @@ impl StorageManager {
     /// Panics if the configuration is inconsistent
     /// (see [`StorageConfig::validate`]) or the flash is too small to hold
     /// the reserved checkpoint area plus at least four segments.
-    pub fn new(cfg: StorageConfig, clock: SharedClock) -> Self {
+    pub fn new(mut cfg: StorageConfig, clock: SharedClock) -> Self {
         cfg.validate();
-        let flash = Flash::new(cfg.flash.clone(), clock.clone());
-        let dram_spec = cfg.dram.clone().with_capacity(cfg.dram_buffer_bytes.max(1));
-        let dram = Dram::new(dram_spec, clock.clone());
         let total_blocks = cfg.flash.total_blocks();
         assert!(
             total_blocks > RESERVED_BLOCKS + 4,
@@ -125,10 +128,18 @@ impl StorageManager {
             cfg.flash.block_bytes,
             cfg.page_size,
         );
+        // The DRAM device is sized to the write buffer; resize the spec in
+        // place rather than cloning it (callers hand `cfg` over by value,
+        // and nothing reads `cfg.dram` after construction).
+        cfg.dram.capacity = cfg.dram_buffer_bytes.max(1);
+        let flash = Flash::new(cfg.flash.clone(), clock.clone());
+        let dram = Dram::new(cfg.dram.clone(), clock.clone());
         let now = clock.now();
         StorageManager {
             buffer: WriteBuffer::new(cfg.buffer_frames()),
-            map: PageMap::new(),
+            map: PageMap::with_dense_pages(cfg.dense_map_pages),
+            pool: PagePool::new(cfg.page_size as usize),
+            wear_spread: None,
             metrics: StorageMetrics::new(now),
             open_write: None,
             open_cold: None,
@@ -215,12 +226,20 @@ impl StorageManager {
         self.dram.charge_refresh(d, self_refresh);
     }
 
-    /// Combined energy ledger of the devices.
+    /// Combined energy ledger of the devices (itemised by operation kind;
+    /// allocates — use [`StorageManager::energy_total`] on hot paths).
     pub fn total_energy(&self) -> EnergyLedger {
         let mut l = EnergyLedger::new();
         l.merge(self.flash.energy());
         l.merge(self.dram.energy());
         l
+    }
+
+    /// Total energy drawn by both devices, as a scalar. Unlike
+    /// [`StorageManager::total_energy`] this builds no ledger, so the
+    /// per-operation battery-drain path can call it freely.
+    pub fn energy_total(&self) -> Energy {
+        self.flash.energy().total() + self.dram.energy().total()
     }
 
     /// Current simulated instant (the shared clock's reading).
@@ -475,7 +494,7 @@ impl StorageManager {
             self.flush_pages(&cold)?;
         }
         if self.cfg.placement == Placement::LogStructured {
-            let free = self.table.free_segments().len() + self.table.pending_erases();
+            let free = self.table.free_count() + self.table.pending_erases();
             if free < self.cfg.gc_trigger_segments {
                 self.collect_garbage()?;
             }
@@ -522,7 +541,9 @@ impl StorageManager {
     /// Writes the given buffered pages back to flash and releases their
     /// frames.
     fn flush_pages(&mut self, pages: &[PageId]) -> Result<()> {
-        let mut data = vec![0u8; self.cfg.page_size as usize];
+        // Early `?` returns drop the scratch buffer instead of recycling
+        // it — errors here (no space, device death) are terminal anyway.
+        let mut data = self.pool.take();
         for &page in pages {
             let Some(frame) = self.buffer.frame_of(page) else {
                 continue; // already flushed or freed
@@ -532,6 +553,7 @@ impl StorageManager {
             self.buffer.remove(page);
             self.metrics.user_flash_pages += 1;
         }
+        self.pool.put(data);
         self.update_gauges();
         Ok(())
     }
@@ -582,7 +604,7 @@ impl StorageManager {
                 continue;
             }
             if let Some(Location::Flash(addr)) = self.map.get(p) {
-                let mut buf = vec![0u8; self.cfg.page_size as usize];
+                let mut buf = self.pool.take();
                 self.flash.read(addr, &mut buf)?;
                 survivors.push((addr, buf));
             }
@@ -591,6 +613,9 @@ impl StorageManager {
         for (addr, buf) in &survivors {
             self.flash.program_async(*addr, buf)?;
             self.metrics.gc_flash_pages += 1;
+        }
+        for (_, buf) in survivors {
+            self.pool.put(buf);
         }
         self.flash.program_async(home, data)?;
         self.map.set(page, Location::Flash(home));
@@ -618,28 +643,31 @@ impl StorageManager {
         }
     }
 
+    fn seg_wear(&self, seg: usize) -> u64 {
+        self.flash
+            .erase_count(self.flash.block_of(self.table.block_addr(seg)))
+    }
+
     /// Picks a free segment for `class`: least-worn among allowed banks,
-    /// falling back to any free segment rather than failing.
+    /// falling back to any free segment rather than failing. Iterates the
+    /// table directly — no candidate list is materialised.
     fn alloc_segment(&self, class: SegClass) -> Option<usize> {
-        let free = self.table.free_segments();
-        let allowed: Vec<usize> = free
-            .iter()
-            .copied()
+        self.table
+            .segments_in(SegState::Free)
             .filter(|&s| self.seg_allowed(s, class))
-            .collect();
-        let pool = if allowed.is_empty() { free } else { allowed };
-        pool.into_iter().min_by_key(|&s| {
-            self.flash
-                .erase_count(self.flash.block_of(self.table.block_addr(s)))
-        })
+            .min_by_key(|&s| self.seg_wear(s))
+            .or_else(|| {
+                self.table
+                    .segments_in(SegState::Free)
+                    .min_by_key(|&s| self.seg_wear(s))
+            })
     }
 
     /// Picks the most-worn free segment (wear-leveling destination).
     fn alloc_most_worn(&self) -> Option<usize> {
-        self.table.free_segments().into_iter().max_by_key(|&s| {
-            self.flash
-                .erase_count(self.flash.block_of(self.table.block_addr(s)))
-        })
+        self.table
+            .segments_in(SegState::Free)
+            .max_by_key(|&s| self.seg_wear(s))
     }
 
     fn open_slot_of(&self, class: SegClass) -> Option<usize> {
@@ -670,7 +698,7 @@ impl StorageManager {
             let now = self.now();
             self.table.reap_erased(now);
             if allow_gc {
-                let free = self.table.free_segments().len() + self.table.pending_erases();
+                let free = self.table.free_count() + self.table.pending_erases();
                 if free < self.cfg.gc_trigger_segments {
                     self.collect_garbage()?;
                 }
@@ -708,11 +736,11 @@ impl StorageManager {
     /// reclaimed.
     fn collect_garbage(&mut self) -> Result<bool> {
         let mut progressed = false;
-        let mut data = vec![0u8; self.cfg.page_size as usize];
+        let mut data = self.pool.take();
         for _ in 0..self.table.len() {
             let now = self.now();
             self.table.reap_erased(now);
-            let free = self.table.free_segments().len() + self.table.pending_erases();
+            let free = self.table.free_count() + self.table.pending_erases();
             if free >= self.cfg.gc_target_segments {
                 break;
             }
@@ -743,6 +771,7 @@ impl StorageManager {
             self.metrics.gc_runs += 1;
             progressed = true;
         }
+        self.pool.put(data);
         self.maybe_flush_tombstones()?;
         Ok(progressed)
     }
@@ -771,7 +800,16 @@ impl StorageManager {
     // ------------------------------------------------------------------
 
     /// Erase-count spread across non-retired segment blocks.
-    fn segment_wear_spread(&self) -> (u64, u64) {
+    fn segment_wear_spread(&mut self) -> (u64, u64) {
+        // Erase counts only move on erases and the scanned set only
+        // shrinks on retirement, so the scan result is cached under
+        // those two counters — the common tick recomputes nothing.
+        let key = (self.flash.counters().erases, self.table.retired_count());
+        if let Some((erases, retired, spread)) = self.wear_spread {
+            if (erases, retired) == key {
+                return spread;
+            }
+        }
         let mut min = u64::MAX;
         let mut max = 0;
         for seg in 0..self.table.len() {
@@ -784,11 +822,9 @@ impl StorageManager {
             min = min.min(c);
             max = max.max(c);
         }
-        if min == u64::MAX {
-            (0, 0)
-        } else {
-            (min, max)
-        }
+        let spread = if min == u64::MAX { (0, 0) } else { (min, max) };
+        self.wear_spread = Some((key.0, key.1, spread));
+        spread
     }
 
     /// Static wear leveling: when the wear spread exceeds the threshold,
@@ -824,7 +860,7 @@ impl StorageManager {
             return Ok(());
         }
         self.table.open(dest);
-        let mut data = vec![0u8; self.cfg.page_size as usize];
+        let mut data = self.pool.take();
         for (slot, meta) in self.table.seg(victim).live_slots() {
             let old_addr = self.table.slot_addr(victim, slot);
             self.flash.read(old_addr, &mut data)?;
@@ -837,6 +873,7 @@ impl StorageManager {
             self.metrics.gc_flash_pages += 1;
         }
         self.table.close(dest);
+        self.pool.put(data);
         self.retire_or_erase(victim)?;
         self.metrics.wear_migrations += 1;
         Ok(())
@@ -874,8 +911,9 @@ impl StorageManager {
             let slot = self.table.append_tomb(seg, batch, self.now());
             let addr = self.table.slot_addr(seg, slot);
             // Tombstone slots are real programs: zeroed payload of records.
-            let data = vec![0u8; self.cfg.page_size as usize];
+            let data = self.pool.take_zeroed();
             self.flash.program_async(addr, &data)?;
+            self.pool.put(data);
             self.ckpt.dirtied.insert(seg);
             self.metrics.summary_flash_pages += 1;
         }
@@ -910,12 +948,13 @@ impl StorageManager {
         let max_pages = self.cfg.flash.block_bytes / self.cfg.page_size;
         let pages = pages.min(max_pages);
         let base = target as u64 * self.cfg.flash.block_bytes;
-        let data = vec![0u8; self.cfg.page_size as usize];
+        let data = self.pool.take_zeroed();
         for i in 0..pages {
             self.flash
                 .program_async(base + i * self.cfg.page_size, &data)?;
             self.metrics.checkpoint_flash_pages += 1;
         }
+        self.pool.put(data);
         self.ckpt.active = target;
         self.ckpt.valid = true;
         self.ckpt.pages = pages;
@@ -969,13 +1008,14 @@ impl StorageManager {
                 // Charge the scan: with a checkpoint, read it plus the
                 // headers of segments dirtied since; without, read every
                 // programmed slot header in the log.
-                let mut header = vec![0u8; RECORD_BYTES as usize];
+                let mut header = [0u8; RECORD_BYTES as usize];
                 if used_checkpoint {
                     let base = self.ckpt.active as u64 * self.cfg.flash.block_bytes;
-                    let mut page = vec![0u8; self.cfg.page_size as usize];
+                    let mut page = self.pool.take();
                     for i in 0..self.ckpt.pages {
                         self.flash.read(base + i * self.cfg.page_size, &mut page)?;
                     }
+                    self.pool.put(page);
                     let dirtied: Vec<usize> = self.ckpt.dirtied.iter().copied().collect();
                     for seg in dirtied {
                         let n = self.table.seg(seg).next_slot;
@@ -1038,7 +1078,7 @@ impl StorageManager {
                 // Identity layout: any non-erased home is a live page.
                 let base = RESERVED_BLOCKS as u64 * self.cfg.flash.block_bytes;
                 let capacity = (self.flash.capacity() - base) / self.cfg.page_size;
-                let mut header = vec![0u8; RECORD_BYTES as usize];
+                let mut header = [0u8; RECORD_BYTES as usize];
                 let mut recovered = 0u64;
                 for page in 0..capacity {
                     let home = base + page * self.cfg.page_size;

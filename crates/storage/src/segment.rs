@@ -13,9 +13,10 @@
 //! drops out of rotation and capacity shrinks, mirroring how the device
 //! model fails the block.
 
+use crate::dense::DenseIndex;
 use crate::map::PageId;
 use ssmc_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Header programmed with each data slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,8 +128,15 @@ pub struct SegmentTable {
     /// Erases in flight: (completion instant, segment index).
     pending_erase: Vec<(SimTime, usize)>,
     /// Stale (dead) copies per page, used to decide when a tombstone can
-    /// finally be dropped.
-    dead_copies: HashMap<PageId, u32>,
+    /// finally be dropped. Dense-indexed: `kill_at` runs on every
+    /// overwrite of a flash-backed page.
+    dead_copies: DenseIndex<u32>,
+    /// Free segments, maintained on every state transition so the GC
+    /// trigger check is O(1) per operation.
+    free_count: usize,
+    /// Retired segments, maintained by [`SegmentTable::retire`]; part of
+    /// the wear-spread cache key in the manager.
+    retired_count: usize,
 }
 
 impl SegmentTable {
@@ -153,7 +161,9 @@ impl SegmentTable {
             block_bytes,
             page_size,
             pending_erase: Vec::new(),
-            dead_copies: HashMap::new(),
+            dead_copies: DenseIndex::new(crate::map::DEFAULT_DENSE_PAGES),
+            free_count: count,
+            retired_count: 0,
         }
     }
 
@@ -182,6 +192,29 @@ impl SegmentTable {
         self.by_state(SegState::Free)
     }
 
+    /// Free segments, O(1): the count is maintained on every state
+    /// transition; debug builds reconcile it against a full scan.
+    pub fn free_count(&self) -> usize {
+        debug_assert_eq!(
+            self.free_count,
+            self.segments
+                .iter()
+                .filter(|s| s.state == SegState::Free)
+                .count(),
+            "maintained free-segment counter diverged from a full scan"
+        );
+        self.free_count
+    }
+
+    /// Iterates indices of segments in `state` without allocating.
+    pub fn segments_in(&self, state: SegState) -> impl Iterator<Item = usize> + '_ {
+        self.segments
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.state == state)
+            .map(|(i, _)| i)
+    }
+
     /// Indices of closed segments (GC candidates).
     pub fn closed_segments(&self) -> Vec<usize> {
         self.by_state(SegState::Closed)
@@ -190,6 +223,19 @@ impl SegmentTable {
     /// Indices of retired segments.
     pub fn retired_segments(&self) -> Vec<usize> {
         self.by_state(SegState::Retired)
+    }
+
+    /// Retired segments, O(1); debug builds reconcile against a scan.
+    pub fn retired_count(&self) -> usize {
+        debug_assert_eq!(
+            self.retired_count,
+            self.segments
+                .iter()
+                .filter(|s| s.state == SegState::Retired)
+                .count(),
+            "maintained retired-segment counter diverged from a full scan"
+        );
+        self.retired_count
     }
 
     fn by_state(&self, state: SegState) -> Vec<usize> {
@@ -244,8 +290,13 @@ impl SegmentTable {
     ///
     /// Panics if the segment is not free.
     pub fn open(&mut self, seg: usize) {
+        assert_eq!(
+            self.segments[seg].state,
+            SegState::Free,
+            "open of non-free segment"
+        );
+        self.free_count -= 1;
         let s = &mut self.segments[seg];
-        assert_eq!(s.state, SegState::Free, "open of non-free segment");
         s.state = SegState::Open;
         s.next_slot = 0;
         s.live = 0;
@@ -302,7 +353,8 @@ impl SegmentTable {
             Slot::Live(m) => {
                 s.slots[slot] = Slot::Dead(m);
                 s.live -= 1;
-                *self.dead_copies.entry(m.page).or_insert(0) += 1;
+                let n = self.dead_copies.get(m.page).unwrap_or(0);
+                self.dead_copies.insert(m.page, n + 1);
             }
             _ => panic!("kill of non-live slot {seg}/{slot}"),
         }
@@ -311,7 +363,7 @@ impl SegmentTable {
     /// Whether any stale copy of `page` survives on flash (a tombstone for
     /// it must then survive too).
     pub fn has_dead_copies(&self, page: PageId) -> bool {
-        self.dead_copies.get(&page).is_some_and(|&n| n > 0)
+        self.dead_copies.get(page).is_some_and(|n| n > 0)
     }
 
     /// Closes an open segment.
@@ -348,17 +400,18 @@ impl SegmentTable {
             })
             .collect();
         for page in dead_pages {
-            if let Some(n) = self.dead_copies.get_mut(&page) {
-                *n -= 1;
-                if *n == 0 {
-                    self.dead_copies.remove(&page);
+            if let Some(n) = self.dead_copies.get(page) {
+                if n <= 1 {
+                    self.dead_copies.remove(page);
+                } else {
+                    self.dead_copies.insert(page, n - 1);
                 }
             }
         }
         let tombs: Vec<(PageId, u64)> = core::mem::take(&mut self.segments[seg].tombstones);
         tombs
             .into_iter()
-            .filter(|(p, _)| self.dead_copies.get(p).is_some_and(|&n| n > 0))
+            .filter(|(p, _)| self.dead_copies.get(*p).is_some_and(|n| n > 0))
             .collect()
     }
 
@@ -377,6 +430,7 @@ impl SegmentTable {
     pub fn retire(&mut self, seg: usize) -> Vec<(PageId, u64)> {
         let carried = self.release_metadata(seg);
         self.segments[seg].state = SegState::Retired;
+        self.retired_count += 1;
         carried
     }
 
@@ -401,6 +455,7 @@ impl SegmentTable {
                 *slot = Slot::Empty;
             }
         }
+        self.free_count += done.len();
         done
     }
 
@@ -410,9 +465,10 @@ impl SegmentTable {
     /// data slot or a deletion tombstone. Data slots that lose become
     /// `Dead`; winning data slots become `Live`. Segments that were mid-
     /// erase at the crash are treated as erased. Returns the map of live
-    /// pages to their flash slot addresses plus the highest sequence seen
-    /// (to restore the global write sequence).
-    pub fn recover_liveness(&mut self) -> (HashMap<PageId, u64>, u64) {
+    /// pages to their flash slot addresses — in ascending page order, so
+    /// the rebuild is deterministic — plus the highest sequence seen (to
+    /// restore the global write sequence).
+    pub fn recover_liveness(&mut self) -> (BTreeMap<PageId, u64>, u64) {
         // Interrupted erases complete conceptually at recovery time: the
         // block contents are indeterminate, so treat them as erased.
         let pending: Vec<usize> = self.pending_erase.drain(..).map(|(_, s)| s).collect();
@@ -425,6 +481,7 @@ impl SegmentTable {
             for slot in &mut s.slots {
                 *slot = Slot::Empty;
             }
+            self.free_count += 1;
         }
 
         // Pass 1: find the winning sequence per page.
@@ -433,7 +490,7 @@ impl SegmentTable {
             seq: u64,
             slot: Option<(usize, usize)>,
         }
-        let mut winners: HashMap<PageId, Winner> = HashMap::new();
+        let mut winners: BTreeMap<PageId, Winner> = BTreeMap::new();
         let mut max_seq = 0u64;
         for (si, s) in self.segments.iter().enumerate() {
             if matches!(s.state, SegState::Free | SegState::Retired) {
@@ -470,7 +527,7 @@ impl SegmentTable {
 
         // Pass 2: rewrite liveness and dead-copy accounting to match.
         self.dead_copies.clear();
-        let mut live_map = HashMap::new();
+        let mut live_map = BTreeMap::new();
         for (si, s) in self.segments.iter_mut().enumerate() {
             s.live = 0;
             if matches!(s.state, SegState::Free | SegState::Retired) {
@@ -489,7 +546,8 @@ impl SegmentTable {
                     s.live += 1;
                 } else {
                     *slot = Slot::Dead(meta);
-                    *self.dead_copies.entry(meta.page).or_insert(0) += 1;
+                    let n = self.dead_copies.get(meta.page).unwrap_or(0);
+                    self.dead_copies.insert(meta.page, n + 1);
                 }
             }
         }

@@ -7,7 +7,7 @@ use crate::Result;
 use ssmc_device::{Dram, DramSpec};
 use ssmc_sim::{SharedClock, SimDuration, TimeWeighted};
 use ssmc_storage::{PageId, StorageManager};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// First logical page id of the swap area. The file system assigns pages
 /// below this (inode windows are `ino << 32` with 32-bit inos), so swap
@@ -95,11 +95,16 @@ pub struct Vm {
     /// FIFO eviction queue of `(asid, vpn, frame)`; stale entries are
     /// skipped at pop time.
     fifo: VecDeque<(u32, u64, u64)>,
-    spaces: HashMap<u32, AddressSpace>,
+    /// Address spaces in a slab indexed by asid. Asids are issued
+    /// sequentially from 1 and never reused, so the slab stays dense;
+    /// slot 0 is permanently empty.
+    spaces: Vec<Option<AddressSpace>>,
     next_asid: u32,
     next_swap_slot: u64,
     metrics: VmMetrics,
     scratch: Vec<u8>,
+    /// Reusable cache-line buffer for `touch` accesses.
+    line: Vec<u8>,
 }
 
 impl Vm {
@@ -113,7 +118,7 @@ impl Vm {
         Vm {
             free_frames: (0..cfg.dram_frames).rev().collect(),
             fifo: VecDeque::new(),
-            spaces: HashMap::new(),
+            spaces: Vec::new(),
             next_asid: 1,
             next_swap_slot: 0,
             metrics: VmMetrics {
@@ -127,6 +132,7 @@ impl Vm {
                 frames_used: TimeWeighted::new(clock.now(), 0.0),
             },
             scratch: vec![0u8; cfg.page_size as usize],
+            line: Vec::new(),
             cfg,
             clock,
             dram,
@@ -167,8 +173,11 @@ impl Vm {
     pub fn create_space(&mut self) -> u32 {
         let asid = self.next_asid;
         self.next_asid += 1;
-        self.spaces
-            .insert(asid, AddressSpace::new(asid, self.cfg.vpn_bits()));
+        let idx = asid as usize;
+        if self.spaces.len() <= idx {
+            self.spaces.resize_with(idx + 1, || None);
+        }
+        self.spaces[idx] = Some(AddressSpace::new(asid, self.cfg.vpn_bits()));
         asid
     }
 
@@ -178,7 +187,10 @@ impl Vm {
     ///
     /// [`VmError::BadAsid`] for unknown identifiers.
     pub fn space(&self, asid: u32) -> Result<&AddressSpace> {
-        self.spaces.get(&asid).ok_or(VmError::BadAsid(asid))
+        self.spaces
+            .get(asid as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(VmError::BadAsid(asid))
     }
 
     /// Mutable access to a space.
@@ -187,7 +199,10 @@ impl Vm {
     ///
     /// [`VmError::BadAsid`] for unknown identifiers.
     pub fn space_mut(&mut self, asid: u32) -> Result<&mut AddressSpace> {
-        self.spaces.get_mut(&asid).ok_or(VmError::BadAsid(asid))
+        self.spaces
+            .get_mut(asid as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(VmError::BadAsid(asid))
     }
 
     /// Destroys a space, releasing its frames.
@@ -196,7 +211,10 @@ impl Vm {
     ///
     /// [`VmError::BadAsid`] for unknown identifiers.
     pub fn destroy_space(&mut self, asid: u32) -> Result<()> {
-        self.spaces.remove(&asid).ok_or(VmError::BadAsid(asid))?;
+        self.spaces
+            .get_mut(asid as usize)
+            .and_then(Option::take)
+            .ok_or(VmError::BadAsid(asid))?;
         // Every frame the space held is identified by its FIFO entries;
         // the page table died with the space.
         let mut kept = VecDeque::new();
@@ -264,7 +282,7 @@ impl Vm {
     /// swap and dirty file pages back to their file.
     fn evict_one(&mut self, sm: &mut StorageManager) -> Result<()> {
         while let Some((asid, vpn, frame)) = self.fifo.pop_front() {
-            let Some(space) = self.spaces.get_mut(&asid) else {
+            let Some(space) = self.spaces.get_mut(asid as usize).and_then(|s| s.as_mut()) else {
                 self.free_frames.push(frame);
                 return Ok(());
             };
@@ -287,7 +305,7 @@ impl Vm {
                         .read(frame * self.cfg.page_size, &mut self.scratch)
                         .map_err(ssmc_storage::StorageError::from)?;
                     sm.write_page(slot, &self.scratch)?;
-                    let space = self.spaces.get_mut(&asid).expect("checked");
+                    let space = self.spaces[asid as usize].as_mut().expect("checked");
                     space.table.map(
                         vpn,
                         Pte {
@@ -349,7 +367,11 @@ impl Vm {
         self.metrics.faults += 1;
         self.clock.advance(self.cfg.table_walk);
         let addr = vpn * self.cfg.page_size;
-        let space = self.spaces.get_mut(&asid).ok_or(VmError::BadAsid(asid))?;
+        let space = self
+            .spaces
+            .get_mut(asid as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(VmError::BadAsid(asid))?;
         let region = space
             .region_of(vpn)
             .cloned()
@@ -372,7 +394,7 @@ impl Vm {
                     self.dram
                         .write(frame * self.cfg.page_size, &self.scratch)
                         .map_err(ssmc_storage::StorageError::from)?;
-                    let space = self.spaces.get_mut(&asid).expect("checked");
+                    let space = self.spaces[asid as usize].as_mut().expect("checked");
                     space.table.map(
                         vpn,
                         Pte {
@@ -403,7 +425,7 @@ impl Vm {
                     let page = region.storage_page(vpn).ok_or(VmError::SegFault { addr })?;
                     let frame = self.alloc_frame(sm)?;
                     self.copy_in(sm, page, frame)?;
-                    let space = self.spaces.get_mut(&asid).expect("checked");
+                    let space = self.spaces[asid as usize].as_mut().expect("checked");
                     space.table.map(
                         vpn,
                         Pte {
@@ -442,7 +464,7 @@ impl Vm {
                         let frame = self.alloc_frame(sm)?;
                         self.copy_in(sm, slot, frame)?;
                         sm.free_page(slot)?;
-                        let space = self.spaces.get_mut(&asid).expect("checked");
+                        let space = self.spaces[asid as usize].as_mut().expect("checked");
                         space.table.map(
                             vpn,
                             Pte {
@@ -477,7 +499,11 @@ impl Vm {
     ) -> Result<()> {
         let frame = self.alloc_frame(sm)?;
         self.copy_in(sm, page, frame)?;
-        let space = self.spaces.get_mut(&asid).ok_or(VmError::BadAsid(asid))?;
+        let space = self
+            .spaces
+            .get_mut(asid as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(VmError::BadAsid(asid))?;
         space.table.map(
             vpn,
             Pte {
@@ -504,9 +530,7 @@ impl Vm {
     pub fn msync(&mut self, asid: u32, base_addr: u64, sm: &mut StorageManager) -> Result<u64> {
         let base_vpn = base_addr / self.cfg.page_size;
         let region = self
-            .spaces
-            .get(&asid)
-            .ok_or(VmError::BadAsid(asid))?
+            .space(asid)?
             .region_of(base_vpn)
             .cloned()
             .ok_or(VmError::SegFault { addr: base_addr })?;
@@ -516,7 +540,7 @@ impl Vm {
         let mut written = 0;
         for vpn in region.base_vpn..region.base_vpn + region.pages {
             let pte = {
-                let space = self.spaces.get(&asid).expect("checked");
+                let space = self.spaces[asid as usize].as_ref().expect("checked");
                 space.table.get(vpn)
             };
             let Some(pte) = pte else { continue };
@@ -532,7 +556,7 @@ impl Vm {
                 .map_err(ssmc_storage::StorageError::from)?;
             sm.write_page(file_page, &self.scratch)?;
             // The frame stays resident and writable but is clean again.
-            let space = self.spaces.get_mut(&asid).expect("checked");
+            let space = self.spaces[asid as usize].as_mut().expect("checked");
             if let Some(p) = space.table.get_mut(vpn) {
                 p.dirty = false;
             }
@@ -562,7 +586,7 @@ impl Vm {
             let _ = self.msync(asid, base_addr, sm);
         }
         let base_vpn = base_addr / self.cfg.page_size;
-        let space = self.spaces.get_mut(&asid).ok_or(VmError::BadAsid(asid))?;
+        let space = self.space_mut(asid)?;
         space.unmap_region(base_vpn);
         let mut released = 0u64;
         // `unmap_region` removed the PTEs; release the frames they held by
@@ -572,7 +596,8 @@ impl Vm {
         while let Some((a, vpn, frame)) = self.fifo.pop_front() {
             let still_mapped = self
                 .spaces
-                .get(&a)
+                .get(a as usize)
+                .and_then(|s| s.as_ref())
                 .and_then(|s| s.table.get(vpn))
                 .is_some_and(|p| p.backing == Backing::Frame(frame));
             if still_mapped {
@@ -638,25 +663,29 @@ impl Vm {
             match pte.backing {
                 Backing::Frame(f) => {
                     let base = f * self.cfg.page_size + offset;
-                    let mut line = vec![0u8; len];
+                    // Resize from empty so a store writes zeros, exactly as
+                    // the old fresh allocation did.
+                    self.line.clear();
+                    self.line.resize(len, 0);
                     if kind == AccessKind::Write {
                         self.dram
-                            .write(base, &line)
+                            .write(base, &self.line)
                             .map_err(ssmc_storage::StorageError::from)?;
-                        let space = self.spaces.get_mut(&asid).expect("checked");
+                        let space = self.spaces[asid as usize].as_mut().expect("checked");
                         if let Some(p) = space.table.get_mut(vpn) {
                             p.dirty = true;
                         }
                     } else {
                         self.dram
-                            .read(base, &mut line)
+                            .read(base, &mut self.line)
                             .map_err(ssmc_storage::StorageError::from)?;
                     }
                 }
                 Backing::Storage(page) => {
                     debug_assert!(kind != AccessKind::Write, "writes never hit storage PTEs");
-                    let mut line = vec![0u8; len];
-                    sm.read_page_slice(page, offset, &mut line)?;
+                    self.line.clear();
+                    self.line.resize(len, 0);
+                    sm.read_page_slice(page, offset, &mut self.line)?;
                 }
             }
             return Ok(self.clock.now().since(start));

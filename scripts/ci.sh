@@ -7,3 +7,13 @@ set -eu
 cargo build --release --offline
 cargo test -q --offline
 cargo run --release --offline -p ssmc-bench --bin experiments -- f2
+
+# Bench smoke: the macrobenchmark harness must run end to end (short
+# windows, no baselines asserted).
+cargo bench -p ssmc-bench --bench simulator --offline -- --smoke
+
+# Behaviour guard: regenerating every experiment must leave results/
+# untouched — refactors of the hot path may not move a single byte of
+# simulated output.
+cargo run --release --offline -p ssmc-bench --bin experiments -- --json results all
+git diff --exit-code results/
