@@ -178,6 +178,22 @@ impl DiskFs {
         &self.disk
     }
 
+    /// Installs an observability recorder on the disk (seek spans).
+    pub fn set_recorder(&mut self, recorder: ssmc_sim::obs::Recorder) {
+        self.disk.set_recorder(recorder);
+    }
+
+    /// Folds the baseline's counters into the unified registry.
+    pub fn publish_metrics(&self, reg: &mut ssmc_sim::obs::MetricsRegistry) {
+        reg.counter("ffs.meta_sync_writes", self.stats.meta_sync_writes);
+        reg.counter("ffs.sync_passes", self.stats.sync_passes);
+        reg.counter("ffs.sync_blocks", self.stats.sync_blocks);
+        self.disk.publish_metrics(reg);
+        for (component, e) in self.cache.dram().energy().iter() {
+            reg.counter(&format!("energy.cache_{component}_nj"), e.as_nanojoules());
+        }
+    }
+
     /// Buffer cache (stats, energy).
     pub fn cache(&self) -> &BufferCache {
         &self.cache

@@ -1,58 +1,93 @@
-//! Ad-hoc replay profiler: replays the throughput-bench BSD trace and
-//! reports cumulative host time per trace-operation kind.
+//! Ad-hoc replay profiler, built on the observability span layer.
+//!
+//! Replays the throughput-bench BSD trace with an enabled [`Recorder`]
+//! and reports, from the journal aggregates, where simulated time and
+//! energy go — per op kind and per layer — plus host-side throughput for
+//! both the traced and the no-op-recorder configurations.
 
-use ssmc_core::{MachineConfig, MobileComputer};
-use ssmc_trace::{FileOp, GeneratorConfig, TraceTarget, Workload};
+use ssmc_bench::obs_trace::{throughput_machine, traced_replay};
+use ssmc_core::run_trace;
+use ssmc_sim::obs::{EVENT_KINDS, LAYERS};
+use ssmc_trace::{GeneratorConfig, Workload};
 use std::time::Instant;
 
+const OPS: u64 = 25_000;
+
 fn main() {
+    // Traced run: one pass, journal carries the whole breakdown.
+    let start = Instant::now();
+    let artifact = traced_replay(Workload::Bsd, OPS);
+    let traced_secs = start.elapsed().as_secs_f64();
+
+    // Untraced run on a fresh machine: what the hot path costs with the
+    // no-op recorder (the configuration the throughput bench measures).
     let trace = GeneratorConfig::new(Workload::Bsd)
-        .with_ops(25_000)
+        .with_ops(OPS as usize)
         .with_max_live_bytes(4 << 20)
         .generate();
-    let mut cfg = MachineConfig::with_sizes("throughput", 8 << 20, 24 << 20);
-    cfg.write_buffer_bytes = Some(1 << 20);
-    let mut m = MobileComputer::new(cfg);
-
-    let mut time = [0f64; 6];
-    let mut count = [0u64; 6];
-    let names = ["create", "write", "read", "truncate", "delete", "sync"];
+    let mut m = throughput_machine();
     let start = Instant::now();
-    for r in &trace.records {
-        let k = match r.op {
-            FileOp::Create { .. } => 0,
-            FileOp::Write { .. } => 1,
-            FileOp::Read { .. } => 2,
-            FileOp::Truncate { .. } => 3,
-            FileOp::Delete { .. } => 4,
-            FileOp::Sync => 5,
-        };
-        let t = Instant::now();
-        m.apply(&r.op).expect("replay");
-        time[k] += t.elapsed().as_secs_f64();
-        count[k] += 1;
-    }
-    let total = start.elapsed().as_secs_f64();
-    println!("total: {:.3}s  {:.0} ops/sec", total, 25_000.0 / total);
-    // How much of each op is the per-op maintenance sweep?
-    let t = Instant::now();
-    for _ in 0..100_000 {
-        m.maintain();
-    }
+    run_trace(&mut m, &trace);
+    let plain_secs = start.elapsed().as_secs_f64();
+
     println!(
-        "maintain   100000 ops  {:>9.1} ns/op (steady-state)",
-        t.elapsed().as_secs_f64() * 1e9 / 100_000.0
+        "host: traced {:.3}s ({:.0} ops/sec), no-op recorder {:.3}s ({:.0} ops/sec)",
+        traced_secs,
+        OPS as f64 / traced_secs,
+        plain_secs,
+        OPS as f64 / plain_secs,
     );
-    for i in 0..6 {
-        if count[i] == 0 {
+    println!();
+
+    let journal = &artifact.journal;
+    let machine_ns: u128 = journal
+        .aggregates
+        .iter()
+        .filter(|r| r.kind.layer() == ssmc_sim::obs::Layer::Machine)
+        .map(|r| r.agg.latency.sum())
+        .sum();
+
+    println!("simulated time and energy by span kind:");
+    println!(
+        "{:<20} {:>8} {:>12} {:>12} {:>10} {:>8}",
+        "kind", "count", "mean ns", "p99 ns", "energy J", "% sim"
+    );
+    for kind in EVENT_KINDS {
+        let Some(row) = journal.aggregate(kind) else {
+            continue;
+        };
+        let h = &row.agg.latency;
+        let share = if machine_ns > 0 {
+            100.0 * h.sum() as f64 / machine_ns as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<20} {:>8} {:>12.1} {:>12} {:>10.4} {:>7.1}%",
+            kind.name(),
+            row.agg.count,
+            h.mean(),
+            h.quantile(0.99),
+            row.agg.energy.as_joules(),
+            share,
+        );
+    }
+    println!();
+
+    println!("per layer:");
+    for layer in LAYERS {
+        let (count, latency_ns, energy, pages, bytes) = journal.layer_totals(layer);
+        if count == 0 {
             continue;
         }
         println!(
-            "{:<10} {:>7} ops  {:>9.1} ns/op  {:>6.1}% of total",
-            names[i],
-            count[i],
-            time[i] * 1e9 / count[i] as f64,
-            100.0 * time[i] / total
+            "{:<10} {:>8} spans  {:>10.1} ms sim  {:>10.4} J  {:>8} pages  {:>12} bytes",
+            layer.name(),
+            count,
+            latency_ns as f64 / 1e6,
+            energy.as_joules(),
+            pages,
+            bytes,
         );
     }
 }

@@ -6,6 +6,7 @@
 //! cargo run --release -p ssmc-bench --bin experiments -- --list
 //! cargo run --release -p ssmc-bench --bin experiments -- all --json results/
 //! cargo run --release -p ssmc-bench --bin experiments -- all --threads 4
+//! cargo run --release -p ssmc-bench --bin experiments -- --trace-out trace.json
 //! ```
 
 use ssmc_bench::experiments;
@@ -27,8 +28,49 @@ fn main() {
         ssmc_sim::set_threads(n);
     }
 
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments [--list] [--json DIR] [--threads N] <ids...|all>");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                })
+        });
+    let trace_ops = args
+        .iter()
+        .position(|a| a == "--trace-ops")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--trace-ops needs a positive integer");
+                    std::process::exit(2);
+                })
+        })
+        .unwrap_or(25_000);
+
+    if let Some(path) = &trace_out {
+        eprintln!(">>> traced replay: bsd, {trace_ops} ops");
+        let start = std::time::Instant::now();
+        let artifact = ssmc_bench::obs_trace::traced_replay(ssmc_trace::Workload::Bsd, trace_ops);
+        eprintln!("    ({:.1} s)", start.elapsed().as_secs_f64());
+        let mut f = std::fs::File::create(path).expect("create trace-out file");
+        f.write_all(artifact.to_report().encode_pretty().as_bytes())
+            .expect("write trace-out file");
+        eprintln!("    wrote {}", path.display());
+    }
+
+    if (args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h"))
+        && trace_out.is_none()
+    {
+        eprintln!(
+            "usage: experiments [--list] [--json DIR] [--threads N] \
+             [--trace-out PATH [--trace-ops N]] <ids...|all>"
+        );
         eprintln!("experiments:");
         for e in &registry {
             eprintln!("  {:4}  {}", e.id, e.title);
@@ -79,7 +121,7 @@ fn main() {
         }
         ran += 1;
     }
-    if ran == 0 {
+    if ran == 0 && trace_out.is_none() {
         eprintln!("no matching experiments; try --list");
         std::process::exit(2);
     }

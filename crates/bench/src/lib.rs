@@ -14,6 +14,7 @@
 //! ```
 
 pub mod exp;
+pub mod obs_trace;
 
 use ssmc_sim::Table;
 

@@ -1,0 +1,90 @@
+//! Traced replay: the shared recipe behind `experiments --trace-out`,
+//! the `trace-dump` renderer, and the determinism golden test.
+//!
+//! A traced run replays a fixed-seed workload through the throughput
+//! machine with an enabled [`Recorder`], then captures the journal
+//! snapshot and the unified metrics registry as one serializable
+//! artifact. Everything in the artifact is simulation-time-stamped, so
+//! the same seed produces byte-identical output on every host.
+
+use ssmc_core::{run_trace, MachineConfig, MobileComputer};
+use ssmc_sim::obs::{JournalSnapshot, MetricsRegistry, Recorder, DEFAULT_JOURNAL_CAPACITY};
+use ssmc_sim::report::{field, FromReport, ReportError, ToReport, Value};
+use ssmc_trace::{GeneratorConfig, Workload};
+
+/// Seed every traced replay uses (the paper's publication year, matching
+/// the determinism suite).
+pub const TRACE_SEED: u64 = 1993;
+
+/// A complete traced-replay artifact: where it ran, what it replayed, and
+/// the observability output.
+#[derive(Debug)]
+pub struct TraceArtifact {
+    /// Machine configuration name.
+    pub machine: String,
+    /// Workload name.
+    pub workload: String,
+    /// Operations replayed.
+    pub ops: u64,
+    /// The event journal (ring + per-kind aggregates).
+    pub journal: JournalSnapshot,
+    /// The unified metrics registry at end of run.
+    pub registry: MetricsRegistry,
+}
+
+impl ToReport for TraceArtifact {
+    fn to_report(&self) -> Value {
+        Value::object(vec![
+            ("machine", self.machine.to_report()),
+            ("workload", self.workload.to_report()),
+            ("ops", self.ops.to_report()),
+            ("journal", self.journal.to_report()),
+            ("registry", self.registry.to_report()),
+        ])
+    }
+}
+
+impl FromReport for TraceArtifact {
+    fn from_report(v: &Value) -> Result<Self, ReportError> {
+        Ok(TraceArtifact {
+            machine: field(v, "machine")?,
+            workload: field(v, "workload")?,
+            ops: field(v, "ops")?,
+            journal: field(v, "journal")?,
+            registry: field(v, "registry")?,
+        })
+    }
+}
+
+/// The machine the throughput macrobenchmark replays into: the F2
+/// notebook configuration with its 1 MB battery-backed write buffer.
+pub fn throughput_machine() -> MobileComputer {
+    let mut cfg = MachineConfig::with_sizes("throughput", 8 << 20, 24 << 20);
+    cfg.write_buffer_bytes = Some(1 << 20);
+    MobileComputer::new(cfg)
+}
+
+/// Replays `ops` fixed-seed operations of `workload` with tracing on and
+/// returns the artifact. Single-threaded and SimTime-stamped, so the
+/// output is independent of the host and of `set_threads`.
+pub fn traced_replay(workload: Workload, ops: u64) -> TraceArtifact {
+    let trace = GeneratorConfig::new(workload)
+        .with_ops(ops as usize)
+        .with_seed(TRACE_SEED)
+        .with_max_live_bytes(4 << 20)
+        .generate();
+    let mut machine = throughput_machine();
+    let recorder = Recorder::enabled(DEFAULT_JOURNAL_CAPACITY);
+    machine.set_recorder(recorder.clone());
+    let report = run_trace(&mut machine, &trace);
+    assert_eq!(report.replay.errors, 0, "traced replay must be clean");
+    let journal = recorder.snapshot().expect("recorder is enabled");
+    let registry = machine.metrics_registry();
+    TraceArtifact {
+        machine: machine.config().name.clone(),
+        workload: format!("{workload:?}").to_lowercase(),
+        ops: trace.records.len() as u64,
+        journal,
+        registry,
+    }
+}

@@ -10,6 +10,7 @@ use crate::config::MachineConfig;
 use ssmc_baseline::{BaselineConfig, DiskFs};
 use ssmc_device::{Battery, BatterySpec, BatteryState};
 use ssmc_memfs::{FileMap, FsError, MemFs, OpenMode};
+use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
 use ssmc_sim::{Clock, Energy, SharedClock, SimDuration, SimTime};
 use ssmc_storage::{DenseIndex, RecoveryReport, StorageManager};
 use ssmc_trace::{FileId, FileOp, TraceTarget};
@@ -32,6 +33,7 @@ pub struct MobileComputer {
     io_scratch: Vec<u8>,
     drained: Energy,
     last_maintain: SimTime,
+    recorder: Recorder,
 }
 
 impl MobileComputer {
@@ -61,6 +63,7 @@ impl MobileComputer {
             io_scratch: Vec::new(),
             drained: Energy::ZERO,
             last_maintain: clock.now(),
+            recorder: Recorder::disabled(),
             cfg,
             clock,
             fs,
@@ -92,6 +95,31 @@ impl MobileComputer {
     /// The battery.
     pub fn battery(&self) -> &Battery {
         &self.battery
+    }
+
+    /// Installs an observability recorder across every layer of the
+    /// machine: machine root spans, FS, storage, flash, and VM.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.fs.set_recorder(recorder.clone());
+        self.vm.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The recorder in force (disabled unless [`Self::set_recorder`] ran).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Assembles the unified metrics registry: every layer's counters,
+    /// gauges, and time-weighted instruments under one snapshot.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.fs.publish_metrics(&mut reg);
+        self.vm.publish_metrics(&mut reg);
+        reg.counter("machine.energy_total_nj", self.total_energy().as_nanojoules());
+        reg.counter("machine.energy_drained_nj", self.drained.as_nanojoules());
+        reg.gauge("machine.sim_time_s", self.clock.now().as_secs_f64());
+        reg
     }
 
     /// Total energy consumed by all devices so far.
@@ -231,9 +259,9 @@ impl MobileComputer {
     }
 }
 
-impl TraceTarget for MobileComputer {
-    fn apply(&mut self, op: &FileOp) -> Result<(), Box<dyn std::error::Error>> {
-        self.maintain();
+impl MobileComputer {
+    /// Applies one trace operation without tracing overhead.
+    fn apply_op(&mut self, op: &FileOp) -> Result<(), FsError> {
         match *op {
             FileOp::Create { file } => {
                 let fd = self.fs.create(&Self::trace_path(file))?;
@@ -262,6 +290,44 @@ impl TraceTarget for MobileComputer {
             FileOp::Sync => self.fs.sync()?,
         }
         Ok(())
+    }
+}
+
+impl TraceTarget for MobileComputer {
+    fn apply(&mut self, op: &FileOp) -> Result<(), Box<dyn std::error::Error>> {
+        self.maintain();
+        if !self.recorder.is_enabled() {
+            // Replay hot path: one branch, no timestamps, no energy walk.
+            return self.apply_op(op).map_err(Into::into);
+        }
+        let start = self.clock.now();
+        let e0 = self.total_energy();
+        let id = self.recorder.begin_op();
+        let result = self.apply_op(op);
+        let (kind, bytes) = match *op {
+            FileOp::Create { .. } => (EventKind::TraceCreate, 0),
+            FileOp::Write { len, .. } => (EventKind::TraceWrite, len),
+            FileOp::Read { len, .. } => (EventKind::TraceRead, len),
+            FileOp::Truncate { .. } => (EventKind::TraceTruncate, 0),
+            FileOp::Delete { .. } => (EventKind::TraceDelete, 0),
+            FileOp::Sync => (EventKind::TraceSync, 0),
+        };
+        // Root span: whole-machine energy delta for the op. Nested device
+        // spans carry their own shares; sum one level, not both.
+        self.recorder.end_op(
+            id,
+            Span {
+                kind,
+                start,
+                end: self.clock.now(),
+                energy: Energy::from_nanojoules(
+                    self.total_energy().as_nanojoules() - e0.as_nanojoules(),
+                ),
+                pages: 0,
+                bytes,
+            },
+        );
+        result.map_err(Into::into)
     }
 }
 
@@ -295,6 +361,21 @@ impl DiskComputer {
     /// The disk file system.
     pub fn fs(&mut self) -> &mut DiskFs {
         &mut self.fs
+    }
+
+    /// Installs an observability recorder (disk seek spans).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.fs.set_recorder(recorder);
+    }
+
+    /// Assembles the unified metrics registry for the baseline machine.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.fs.publish_metrics(&mut reg);
+        reg.counter("machine.energy_total_nj", self.total_energy().as_nanojoules());
+        reg.counter("machine.energy_drained_nj", self.drained.as_nanojoules());
+        reg.gauge("machine.sim_time_s", self.clock.now().as_secs_f64());
+        reg
     }
 
     /// The battery.

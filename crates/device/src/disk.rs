@@ -8,6 +8,7 @@
 
 use crate::error::DeviceError;
 use crate::Result;
+use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
 use ssmc_sim::{EnergyLedger, Power, SharedClock, SimDuration};
 
 /// Static characteristics of a disk drive.
@@ -146,6 +147,7 @@ pub struct Disk {
     spin: SpinState,
     counters: DiskCounters,
     energy: EnergyLedger,
+    recorder: Recorder,
 }
 
 impl Disk {
@@ -157,9 +159,15 @@ impl Disk {
             spin: SpinState::Spinning,
             counters: DiskCounters::default(),
             energy: EnergyLedger::new(),
+            recorder: Recorder::disabled(),
             spec,
             clock,
         }
+    }
+
+    /// Installs the observability recorder (disabled by default).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The drive's static characteristics.
@@ -252,6 +260,7 @@ impl Disk {
 
     fn access(&mut self, addr: u64, len: u64) -> SimDuration {
         self.spin_up();
+        let start = self.clock.now();
         let latency = self.service_estimate(addr, len);
         let target = self.spec.cylinder_of(addr);
         self.counters.seek_time += self.spec.seek_time(target.abs_diff(self.head_cylinder));
@@ -260,7 +269,29 @@ impl Disk {
         self.energy
             .charge("disk.active", self.spec.active_power.energy_over(latency));
         self.counters.bytes += len;
+        self.recorder.emit(|| Span {
+            kind: EventKind::DiskSeek,
+            start,
+            end: self.clock.now(),
+            energy: self.spec.active_power.energy_over(latency),
+            pages: 0,
+            bytes: len,
+        });
         latency
+    }
+
+    /// Publishes the drive counters and energy accounts into the registry
+    /// under `disk.*` names.
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        let c = self.counters;
+        reg.counter("disk.reads", c.reads);
+        reg.counter("disk.writes", c.writes);
+        reg.counter("disk.bytes", c.bytes);
+        reg.counter("disk.seek_time_ns", c.seek_time.as_nanos());
+        reg.counter("disk.spin_ups", c.spin_ups);
+        for (component, e) in self.energy.iter() {
+            reg.counter(&format!("energy.{component}_nj"), e.as_nanojoules());
+        }
     }
 
     /// Reads `buf.len()` bytes at `addr`, spinning up first if necessary.

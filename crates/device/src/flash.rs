@@ -15,6 +15,7 @@
 
 use crate::error::DeviceError;
 use crate::Result;
+use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
 use ssmc_sim::{Energy, EnergyLedger, Power, SharedClock, SimDuration, SimTime};
 
 /// Identifies an erase block within the device (global, not per-bank).
@@ -264,6 +265,7 @@ pub struct Flash {
     counters: FlashCounters,
     energy: EnergyLedger,
     first_wearout: Option<SimTime>,
+    recorder: Recorder,
 }
 
 impl Flash {
@@ -287,9 +289,15 @@ impl Flash {
             counters: FlashCounters::default(),
             energy: EnergyLedger::new(),
             first_wearout: None,
+            recorder: Recorder::disabled(),
             spec,
             clock,
         }
+    }
+
+    /// Installs the observability recorder (disabled by default).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The device's static characteristics.
@@ -424,6 +432,14 @@ impl Flash {
         self.counters.bytes_read += len;
         self.energy
             .charge("flash.read", self.spec.read_power.energy_over(latency));
+        self.recorder.emit(|| Span {
+            kind: EventKind::FlashRead,
+            start,
+            end: self.clock.now(),
+            energy: self.spec.read_power.energy_over(latency),
+            pages: 0,
+            bytes: len,
+        });
         Ok(self.clock.now().since(start))
     }
 
@@ -506,6 +522,14 @@ impl Flash {
             "flash.program",
             self.spec.program_power.energy_over(latency),
         );
+        self.recorder.emit(|| Span {
+            kind: EventKind::FlashProgram,
+            start: begin,
+            end: done,
+            energy: self.spec.program_power.energy_over(latency),
+            pages: 0,
+            bytes: data.len() as u64,
+        });
         Ok(done)
     }
 
@@ -560,6 +584,14 @@ impl Flash {
             "flash.erase",
             self.spec.erase_power.energy_over(self.spec.erase_latency),
         );
+        self.recorder.emit(|| Span {
+            kind: EventKind::FlashErase,
+            start: begin,
+            end: done,
+            energy: self.spec.erase_power.energy_over(self.spec.erase_latency),
+            pages: 0,
+            bytes: self.spec.block_bytes,
+        });
         Ok(done)
     }
 
@@ -611,6 +643,26 @@ impl Flash {
     /// Total energy consumed, summed over components.
     pub fn total_energy(&self) -> Energy {
         self.energy.total()
+    }
+
+    /// Publishes the device counters, wear, and energy accounts into the
+    /// registry under `flash.*` names.
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        let c = self.counters;
+        reg.counter("flash.reads", c.reads);
+        reg.counter("flash.bytes_read", c.bytes_read);
+        reg.counter("flash.programs", c.programs);
+        reg.counter("flash.bytes_programmed", c.bytes_programmed);
+        reg.counter("flash.erases", c.erases);
+        reg.counter("flash.read_stall_ns", c.read_stall.as_nanos());
+        reg.counter("flash.stalled_reads", c.stalled_reads);
+        reg.counter("flash.suspended_reads", c.suspended_reads);
+        let wear = self.wear_stats();
+        reg.counter("flash.bad_blocks", wear.bad_blocks as u64);
+        reg.gauge("flash.wear_evenness", wear.evenness());
+        for (component, e) in self.energy.iter() {
+            reg.counter(&format!("energy.{component}_nj"), e.as_nanojoules());
+        }
     }
 }
 

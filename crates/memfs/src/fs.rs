@@ -6,6 +6,8 @@ use crate::layout::{
     INODE_BYTES, ROOT_INO,
 };
 use crate::Result;
+use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
+use ssmc_sim::Energy;
 use ssmc_storage::{PageId, RecoveryReport, StorageManager};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -131,6 +133,7 @@ pub struct MemFs {
     dirs: Vec<Option<DirIndex>>,
     /// Recycled page-sized scratch buffer for sub-page reads and RMW.
     scratch: Vec<u8>,
+    recorder: Recorder,
 }
 
 impl MemFs {
@@ -150,6 +153,7 @@ impl MemFs {
             metrics: FsMetrics::default(),
             dirs: Vec::new(),
             scratch: Vec::new(),
+            recorder: Recorder::disabled(),
         };
         match fs.read_superblock()? {
             Some(sb) => {
@@ -175,6 +179,26 @@ impl MemFs {
     /// File-system counters.
     pub fn metrics(&self) -> FsMetrics {
         self.metrics
+    }
+
+    /// Installs an observability recorder here and in the storage stack
+    /// below (storage manager and flash device).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.sm.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// Folds the file-system counters — and everything below them — into
+    /// the unified registry.
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("fs.creates", self.metrics.creates);
+        reg.counter("fs.deletes", self.metrics.deletes);
+        reg.counter("fs.reads", self.metrics.reads);
+        reg.counter("fs.writes", self.metrics.writes);
+        reg.counter("fs.bytes_read", self.metrics.bytes_read);
+        reg.counter("fs.bytes_written", self.metrics.bytes_written);
+        reg.counter("fs.copy_on_open_bytes", self.metrics.copy_on_open_bytes);
+        self.sm.publish_metrics(reg);
     }
 
     /// The write policy in force.
@@ -533,11 +557,13 @@ impl MemFs {
     ///
     /// [`FsError::NotFound`], [`FsError::IsDir`], plus storage errors.
     pub fn open(&mut self, path: &str, mode: OpenMode) -> Result<u64> {
+        let start = self.sm.now();
         let ino = self.resolve(path)?;
         let inode = self.read_inode(ino)?;
         if inode.kind == InodeKind::Dir {
             return Err(FsError::IsDir);
         }
+        let mut copied = 0u64;
         if mode == OpenMode::Write && self.policy == WritePolicy::CopyOnOpen {
             let ps = self.page_size();
             let pages = inode.size.div_ceil(ps);
@@ -547,8 +573,17 @@ impl MemFs {
                 self.sm.write_page(page, &buf)?;
                 self.put_buf(buf);
                 self.metrics.copy_on_open_bytes += ps;
+                copied += 1;
             }
         }
+        self.recorder.emit(|| Span {
+            kind: EventKind::FsOpen,
+            start,
+            end: self.sm.now(),
+            energy: Energy::ZERO,
+            pages: copied,
+            bytes: copied * self.page_size(),
+        });
         Ok(self.alloc_fd(ino, mode))
     }
 
@@ -598,8 +633,18 @@ impl MemFs {
     ///
     /// Descriptor and storage errors; short writes do not occur.
     pub fn write(&mut self, fd: u64, offset: u64, data: &[u8]) -> Result<()> {
+        let start = self.sm.now();
         let ino = self.fd_ino(fd, true)?;
-        self.write_ino(ino, offset, data)
+        self.write_ino(ino, offset, data)?;
+        self.recorder.emit(|| Span {
+            kind: EventKind::FsWrite,
+            start,
+            end: self.sm.now(),
+            energy: Energy::ZERO,
+            pages: (data.len() as u64).div_ceil(self.page_size().max(1)),
+            bytes: data.len() as u64,
+        });
+        Ok(())
     }
 
     fn write_ino(&mut self, ino: Ino, offset: u64, data: &[u8]) -> Result<()> {
@@ -637,6 +682,7 @@ impl MemFs {
     ///
     /// Descriptor and storage errors.
     pub fn read(&mut self, fd: u64, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let start = self.sm.now();
         let ino = self.fd_ino(fd, false)?;
         let inode = self.read_inode(ino)?;
         if offset >= inode.size {
@@ -657,6 +703,14 @@ impl MemFs {
         }
         self.metrics.reads += 1;
         self.metrics.bytes_read += want as u64;
+        self.recorder.emit(|| Span {
+            kind: EventKind::FsRead,
+            start,
+            end: self.sm.now(),
+            energy: Energy::ZERO,
+            pages: (want as u64).div_ceil(self.page_size().max(1)),
+            bytes: want as u64,
+        });
         Ok(want)
     }
 

@@ -19,10 +19,12 @@
 //! * [`report`] — in-tree JSON value model and the [`ToReport`] /
 //!   [`FromReport`] serialization traits (no external crates).
 //! * [`par`] — deterministic order-preserving parallel sweep runner.
+//! * [`obs`] — deterministic cross-layer span journal and metrics registry.
 
 pub mod clock;
 pub mod energy;
 pub mod events;
+pub mod obs;
 pub mod par;
 pub mod report;
 pub mod rng;
@@ -33,6 +35,10 @@ pub mod time;
 pub use clock::{Clock, SharedClock};
 pub use energy::{Energy, EnergyLedger, Power};
 pub use events::EventQueue;
+pub use obs::{
+    EventKind, Instrument, JournalSnapshot, Layer, MetricsRegistry, Recorder, Span,
+    DEFAULT_JOURNAL_CAPACITY,
+};
 pub use par::{parallel_sweep, set_threads, threads};
 pub use report::{field, FromReport, ReportError, ToReport, Value};
 pub use rng::SimRng;

@@ -186,6 +186,11 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of recorded values, or 0 if empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -209,9 +214,18 @@ impl Histogram {
             }
             if seen + c >= target {
                 let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
-                let hi = if i == 0 { 1 } else { (1u64 << i) - 1 };
+                // Bucket 64 holds (2^63, u64::MAX]; `1 << 64` would wrap.
+                let hi = if i == 0 {
+                    1
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
                 let frac = (target - seen) as f64 / c as f64;
-                return lo + ((hi - lo) as f64 * frac) as u64;
+                // The f64 round-trip can land one past `hi` at the top
+                // bucket; saturate rather than wrap.
+                return lo.saturating_add(((hi - lo) as f64 * frac) as u64);
             }
             seen += c;
         }
@@ -297,8 +311,11 @@ impl ToReport for OnlineStats {
             ("n", self.n.to_report()),
             ("mean", self.mean.to_report()),
             ("m2", self.m2.to_report()),
-            ("min", self.min.to_report()),
-            ("max", self.max.to_report()),
+            // The empty accumulator's ±∞ sentinels have no JSON encoding
+            // (they would serialize as null); emit the public 0-if-empty
+            // accessors instead. `from_report` restores the sentinels.
+            ("min", self.min().to_report()),
+            ("max", self.max().to_report()),
         ])
     }
 }
@@ -438,6 +455,68 @@ mod tests {
         assert!((256..=1024).contains(&p50), "p50 was {p50}");
         assert!(p99 >= p50);
         assert!((h.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_is_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.quantile(0.0), 7);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 7);
+        // Bucket 0 holds both 0 and 1, so a lone zero reads back within
+        // the bucket, not exactly.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert!(z.quantile(0.5) <= 1);
+    }
+
+    #[test]
+    fn top_bucket_saturates_instead_of_overflowing() {
+        // u64::MAX lands in bucket 64, whose upper bound must clamp to
+        // u64::MAX rather than compute `1 << 64`.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record((1u64 << 63) + 1);
+        let p100 = h.quantile(1.0);
+        assert!(p100 > 1u64 << 63, "p100 was {p100}");
+        let p1 = h.quantile(0.01);
+        assert!(p1 >= 1u64 << 63, "p1 was {p1}");
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn empty_online_stats_serialize_finite_min_max() {
+        let s = OnlineStats::new();
+        let encoded = s.to_report().encode();
+        assert_eq!(
+            encoded,
+            "{\"n\":0,\"mean\":0.0,\"m2\":0.0,\"min\":0.0,\"max\":0.0}"
+        );
+        // Decoding restores the ±∞ sentinels so later records still win
+        // the min/max comparisons.
+        let mut back =
+            OnlineStats::from_report(&Value::decode(&encoded).expect("json")).expect("stats");
+        back.record(5.0);
+        assert_eq!(back.min(), 5.0);
+        assert_eq!(back.max(), 5.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_weighted_rejects_backwards_time() {
+        let mut w = TimeWeighted::new(SimTime::from_nanos(100), 1.0);
+        w.set(SimTime::from_nanos(50), 2.0);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::recovery::RecoveryReport;
 use crate::segment::{SegState, SegmentTable, SlotMeta};
 use crate::Result;
 use ssmc_device::{DeviceError, Dram, Flash};
+use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
 use ssmc_sim::{Energy, EnergyLedger, SharedClock, SimDuration, SimTime};
 use std::collections::BTreeSet;
 
@@ -91,6 +92,7 @@ pub struct StorageManager {
     /// the per-tick wear-leveling check only rescans after an erase.
     wear_spread: Option<(u64, usize, (u64, u64))>,
     metrics: StorageMetrics,
+    recorder: Recorder,
     crashed: bool,
     crash_buffered: Vec<PageId>,
     crash_pending_tombs: Vec<PageId>,
@@ -141,6 +143,7 @@ impl StorageManager {
             pool: PagePool::new(cfg.page_size as usize),
             wear_spread: None,
             metrics: StorageMetrics::new(now),
+            recorder: Recorder::disabled(),
             open_write: None,
             open_cold: None,
             pending_tombstones: Vec::new(),
@@ -186,6 +189,35 @@ impl StorageManager {
     /// Metrics accumulated so far.
     pub fn metrics(&self) -> &StorageMetrics {
         &self.metrics
+    }
+
+    /// Installs the observability recorder on this layer and the devices
+    /// beneath it (disabled by default).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.flash.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// Publishes storage metrics, flash counters/wear, and device energy
+    /// accounts into the unified registry.
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        self.metrics.publish(reg);
+        self.flash.publish_metrics(reg);
+        for (component, e) in self.dram.energy().iter() {
+            reg.counter(&format!("energy.{component}_nj"), e.as_nanojoules());
+        }
+    }
+
+    /// Flash energy drawn so far — sampled around flush/GC spans so their
+    /// energy deltas attribute device work to the storage operation that
+    /// caused it. Returns zero when the recorder is disabled to keep the
+    /// hot path free of ledger walks.
+    fn span_energy_mark(&self) -> Energy {
+        if self.recorder.is_enabled() {
+            self.flash.total_energy()
+        } else {
+            Energy::ZERO
+        }
     }
 
     /// Pages the manager can hold (live data), after utilisation and
@@ -541,6 +573,9 @@ impl StorageManager {
     /// Writes the given buffered pages back to flash and releases their
     /// frames.
     fn flush_pages(&mut self, pages: &[PageId]) -> Result<()> {
+        let start = self.now();
+        let e0 = self.span_energy_mark();
+        let mut flushed = 0u64;
         // Early `?` returns drop the scratch buffer instead of recycling
         // it — errors here (no space, device death) are terminal anyway.
         let mut data = self.pool.take();
@@ -552,8 +587,21 @@ impl StorageManager {
             self.flush_data_to_flash(page, &data, self.map.get(page))?;
             self.buffer.remove(page);
             self.metrics.user_flash_pages += 1;
+            flushed += 1;
         }
         self.pool.put(data);
+        if flushed > 0 {
+            self.recorder.emit(|| Span {
+                kind: EventKind::StorageFlush,
+                start,
+                end: self.clock.now(),
+                energy: Energy::from_nanojoules(
+                    self.flash.total_energy().as_nanojoules() - e0.as_nanojoules(),
+                ),
+                pages: flushed,
+                bytes: flushed * self.cfg.page_size,
+            });
+        }
         self.update_gauges();
         Ok(())
     }
@@ -713,6 +761,14 @@ impl StorageManager {
                 let waited_from = self.now();
                 self.clock.advance_to(at);
                 self.metrics.gc_wait += self.now().since(waited_from);
+                self.recorder.emit(|| Span {
+                    kind: EventKind::StorageStall,
+                    start: waited_from,
+                    end: self.clock.now(),
+                    energy: Energy::ZERO,
+                    pages: 0,
+                    bytes: 0,
+                });
                 continue;
             }
             if allow_gc && self.collect_garbage()? {
@@ -735,6 +791,9 @@ impl StorageManager {
     /// further progress is possible. Returns whether anything was
     /// reclaimed.
     fn collect_garbage(&mut self) -> Result<bool> {
+        let start = self.now();
+        let e0 = self.span_energy_mark();
+        let moved0 = self.metrics.gc_flash_pages;
         let mut progressed = false;
         let mut data = self.pool.take();
         for _ in 0..self.table.len() {
@@ -772,6 +831,18 @@ impl StorageManager {
             progressed = true;
         }
         self.pool.put(data);
+        if progressed {
+            self.recorder.emit(|| Span {
+                kind: EventKind::StorageGc,
+                start,
+                end: self.clock.now(),
+                energy: Energy::from_nanojoules(
+                    self.flash.total_energy().as_nanojoules() - e0.as_nanojoules(),
+                ),
+                pages: self.metrics.gc_flash_pages - moved0,
+                bytes: (self.metrics.gc_flash_pages - moved0) * self.cfg.page_size,
+            });
+        }
         self.maybe_flush_tombstones()?;
         Ok(progressed)
     }
@@ -859,6 +930,9 @@ impl StorageManager {
         if dest == victim {
             return Ok(());
         }
+        let start = self.now();
+        let e0 = self.span_energy_mark();
+        let moved0 = self.metrics.gc_flash_pages;
         self.table.open(dest);
         let mut data = self.pool.take();
         for (slot, meta) in self.table.seg(victim).live_slots() {
@@ -876,6 +950,16 @@ impl StorageManager {
         self.pool.put(data);
         self.retire_or_erase(victim)?;
         self.metrics.wear_migrations += 1;
+        self.recorder.emit(|| Span {
+            kind: EventKind::StorageWearLevel,
+            start,
+            end: self.clock.now(),
+            energy: Energy::from_nanojoules(
+                self.flash.total_energy().as_nanojoules() - e0.as_nanojoules(),
+            ),
+            pages: self.metrics.gc_flash_pages - moved0,
+            bytes: (self.metrics.gc_flash_pages - moved0) * self.cfg.page_size,
+        });
         Ok(())
     }
 
@@ -932,6 +1016,8 @@ impl StorageManager {
         if self.cfg.placement != Placement::LogStructured || self.ckpt.disabled {
             return Ok(());
         }
+        let start = self.now();
+        let e0 = self.span_energy_mark();
         let target = 1 - self.ckpt.active;
         let block = ssmc_device::BlockId(target as u32);
         match self.flash.erase_async(block) {
@@ -960,6 +1046,16 @@ impl StorageManager {
         self.ckpt.pages = pages;
         self.ckpt.dirtied.clear();
         self.ckpt.last = self.now();
+        self.recorder.emit(|| Span {
+            kind: EventKind::StorageCheckpoint,
+            start,
+            end: self.clock.now(),
+            energy: Energy::from_nanojoules(
+                self.flash.total_energy().as_nanojoules() - e0.as_nanojoules(),
+            ),
+            pages,
+            bytes: pages * self.cfg.page_size,
+        });
         Ok(())
     }
 

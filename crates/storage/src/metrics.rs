@@ -5,6 +5,7 @@
 //! amplification, F4 from erase counts (combined with the device's wear
 //! stats), T3 from the dirty-data exposure.
 
+use ssmc_sim::obs::MetricsRegistry;
 use ssmc_sim::{SimDuration, SimTime, TimeWeighted};
 
 /// Counters and gauges maintained by the storage manager.
@@ -95,6 +96,33 @@ impl StorageMetrics {
         } else {
             self.reads_from_dram as f64 / total as f64
         }
+    }
+
+    /// Folds every field (and the derived ratios) into the unified
+    /// registry under `storage.*` names.
+    pub fn publish(&self, reg: &mut MetricsRegistry) {
+        reg.counter("storage.pages_written", self.pages_written);
+        reg.counter("storage.bytes_written", self.bytes_written);
+        reg.counter("storage.overwrites_absorbed", self.overwrites_absorbed);
+        reg.counter("storage.deaths_absorbed", self.deaths_absorbed);
+        reg.counter("storage.user_flash_pages", self.user_flash_pages);
+        reg.counter("storage.gc_flash_pages", self.gc_flash_pages);
+        reg.counter("storage.summary_flash_pages", self.summary_flash_pages);
+        reg.counter("storage.checkpoint_flash_pages", self.checkpoint_flash_pages);
+        reg.counter("storage.reads_from_dram", self.reads_from_dram);
+        reg.counter("storage.reads_from_flash", self.reads_from_flash);
+        reg.counter("storage.hole_reads", self.hole_reads);
+        reg.counter("storage.gc_runs", self.gc_runs);
+        reg.counter("storage.wear_migrations", self.wear_migrations);
+        reg.counter("storage.gc_wait_ns", self.gc_wait.as_nanos());
+        reg.time_weighted("storage.buffer_occupancy", self.buffer_occupancy.clone());
+        reg.time_weighted("storage.dirty_exposure", self.dirty_exposure.clone());
+        reg.gauge(
+            "storage.write_traffic_reduction",
+            self.write_traffic_reduction(),
+        );
+        reg.gauge("storage.write_amplification", self.write_amplification());
+        reg.gauge("storage.dram_read_fraction", self.dram_read_fraction());
     }
 }
 

@@ -5,7 +5,8 @@ use crate::page_table::{Backing, Pte};
 use crate::space::{AddressSpace, MappingKind, Perm};
 use crate::Result;
 use ssmc_device::{Dram, DramSpec};
-use ssmc_sim::{SharedClock, SimDuration, TimeWeighted};
+use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
+use ssmc_sim::{Energy, SharedClock, SimDuration, TimeWeighted};
 use ssmc_storage::{PageId, StorageManager};
 use std::collections::VecDeque;
 
@@ -102,6 +103,7 @@ pub struct Vm {
     next_asid: u32,
     next_swap_slot: u64,
     metrics: VmMetrics,
+    recorder: Recorder,
     scratch: Vec<u8>,
     /// Reusable cache-line buffer for `touch` accesses.
     line: Vec<u8>,
@@ -131,6 +133,7 @@ impl Vm {
                 swap_ins: 0,
                 frames_used: TimeWeighted::new(clock.now(), 0.0),
             },
+            recorder: Recorder::disabled(),
             scratch: vec![0u8; cfg.page_size as usize],
             line: Vec::new(),
             cfg,
@@ -147,6 +150,36 @@ impl Vm {
     /// Counters so far.
     pub fn metrics(&self) -> &VmMetrics {
         &self.metrics
+    }
+
+    /// Installs an observability recorder; fault and XIP spans land in it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Folds the VM counters into the unified registry under `vm.*`.
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("vm.faults", self.metrics.faults);
+        reg.counter("vm.minor_faults", self.metrics.minor_faults);
+        reg.counter("vm.major_faults", self.metrics.major_faults);
+        reg.counter("vm.cow_copies", self.metrics.cow_copies);
+        reg.counter("vm.pages_loaded", self.metrics.pages_loaded);
+        reg.counter("vm.swap_outs", self.metrics.swap_outs);
+        reg.counter("vm.swap_ins", self.metrics.swap_ins);
+        reg.time_weighted("vm.frames_used", self.metrics.frames_used.clone());
+        for (component, e) in self.dram.energy().iter() {
+            reg.counter(&format!("energy.vm_{component}_nj"), e.as_nanojoules());
+        }
+    }
+
+    /// VM DRAM energy so far, or zero when the recorder is off (avoids
+    /// walking the ledger on the hot path).
+    fn span_energy_mark(&self) -> Energy {
+        if self.recorder.is_enabled() {
+            self.dram.energy().total()
+        } else {
+            Energy::ZERO
+        }
     }
 
     /// The VM's DRAM device (energy accounting).
@@ -365,6 +398,9 @@ impl Vm {
         sm: &mut StorageManager,
     ) -> Result<()> {
         self.metrics.faults += 1;
+        let span_start = self.clock.now();
+        let e0 = self.span_energy_mark();
+        let majors0 = self.metrics.major_faults;
         self.clock.advance(self.cfg.table_walk);
         let addr = vpn * self.cfg.page_size;
         let space = self
@@ -487,6 +523,17 @@ impl Vm {
                 }
             }
         }
+        let copied = self.metrics.major_faults - majors0;
+        self.recorder.emit(|| Span {
+            kind: EventKind::VmFault,
+            start: span_start,
+            end: self.clock.now(),
+            energy: Energy::from_nanojoules(
+                self.dram.energy().total().as_nanojoules() - e0.as_nanojoules(),
+            ),
+            pages: copied,
+            bytes: copied * self.cfg.page_size,
+        });
         Ok(())
     }
 
@@ -686,6 +733,18 @@ impl Vm {
                     self.line.clear();
                     self.line.resize(len, 0);
                     sm.read_page_slice(page, offset, &mut self.line)?;
+                    if kind == AccessKind::Exec {
+                        // Execute in place: the fetch came straight from
+                        // flash (the device span carries its energy).
+                        self.recorder.emit(|| Span {
+                            kind: EventKind::VmXip,
+                            start,
+                            end: self.clock.now(),
+                            energy: Energy::ZERO,
+                            pages: 0,
+                            bytes: len as u64,
+                        });
+                    }
                 }
             }
             return Ok(self.clock.now().since(start));

@@ -9,8 +9,19 @@ cargo test -q --offline
 cargo run --release --offline -p ssmc-bench --bin experiments -- f2
 
 # Bench smoke: the macrobenchmark harness must run end to end (short
-# windows, no baselines asserted).
+# windows, no baselines asserted) — with the no-op recorder, so this is
+# also the disabled-cost path of the observability layer.
 cargo bench -p ssmc-bench --bench simulator --offline -- --smoke
+
+# Observability smoke: a traced replay must produce a decodable artifact
+# and trace-dump must render it. Uses a temp path — trace artifacts
+# never land in results/.
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cargo run --release --offline -p ssmc-bench --bin experiments -- \
+    --trace-out "$TRACE_TMP/trace.json" --trace-ops 2000
+cargo run --release --offline -p ssmc-bench --bin trace-dump -- \
+    "$TRACE_TMP/trace.json"
 
 # Behaviour guard: regenerating every experiment must leave results/
 # untouched — refactors of the hot path may not move a single byte of

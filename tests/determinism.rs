@@ -80,3 +80,55 @@ fn report_encoder_reproduces_checked_in_f2_results() {
         "re-encoded f2.json diverged from the checked-in bytes"
     );
 }
+
+/// The observability golden: a traced fixed-seed 25k-op BSD replay must
+/// serialize its journal and registry to byte-identical JSON on every
+/// run — and regardless of the worker thread count, since the traced
+/// replay is single-threaded and stamps only simulated time.
+#[test]
+fn traced_replay_journal_is_byte_identical() {
+    use ssmc_bench::obs_trace::traced_replay;
+    use ssmc::trace::Workload;
+
+    let encode = || {
+        let artifact = traced_replay(Workload::Bsd, 25_000);
+        (
+            artifact.journal.to_report().encode(),
+            artifact.registry.to_report().encode(),
+        )
+    };
+    let (journal_a, registry_a) = encode();
+    let (journal_b, registry_b) = encode();
+    assert_eq!(journal_a, journal_b, "journal bytes diverged across runs");
+    assert_eq!(registry_a, registry_b, "registry bytes diverged across runs");
+
+    set_threads(1);
+    let (journal_seq, registry_seq) = encode();
+    set_threads(8);
+    let (journal_par, registry_par) = encode();
+    set_threads(0); // restore the host default
+    assert_eq!(
+        journal_seq, journal_par,
+        "journal bytes changed with the thread count"
+    );
+    assert_eq!(
+        registry_seq, registry_par,
+        "registry bytes changed with the thread count"
+    );
+    assert_eq!(journal_a, journal_seq, "journal bytes drifted between phases");
+
+    // The artifact is non-trivial: root spans for every op, plus nested
+    // spans from at least the fs, storage, and device layers.
+    let artifact = traced_replay(Workload::Bsd, 25_000);
+    assert_eq!(artifact.journal.ops, 25_000);
+    for layer in [
+        ssmc::sim::obs::Layer::Machine,
+        ssmc::sim::obs::Layer::MemFs,
+        ssmc::sim::obs::Layer::Storage,
+        ssmc::sim::obs::Layer::Device,
+    ] {
+        let (count, ..) = artifact.journal.layer_totals(layer);
+        assert!(count > 0, "no spans recorded for layer {}", layer.name());
+    }
+    assert!(!artifact.registry.is_empty(), "registry must not be empty");
+}
