@@ -7,7 +7,7 @@
 
 use ssmc_device::{Dram, DramSpec};
 use ssmc_sim::{SharedClock, SimTime};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Cache counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,7 +33,7 @@ struct Entry {
 pub struct BufferCache {
     capacity: usize,
     block_size: u64,
-    entries: HashMap<u64, Entry>,
+    entries: BTreeMap<u64, Entry>,
     lru: BTreeSet<(SimTime, u64)>,
     dram: Dram,
     clock: SharedClock,
@@ -47,7 +47,7 @@ impl BufferCache {
         BufferCache {
             capacity: capacity.max(1),
             block_size,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             lru: BTreeSet::new(),
             dram: Dram::new(dram_spec, clock.clone()),
             clock,

@@ -18,7 +18,7 @@ use core::fmt;
 use ssmc_device::{Disk, DiskSpec, DramSpec};
 use ssmc_sim::{EnergyLedger, SharedClock, SimDuration, SimTime};
 use ssmc_trace::{FileOp, TraceTarget};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Direct block pointers per inode.
 const NDIRECT: u64 = 12;
@@ -94,9 +94,9 @@ struct FInode {
     size: u64,
     group: u32,
     /// File block index → physical block.
-    blocks: HashMap<u64, u32>,
+    blocks: BTreeMap<u64, u32>,
     /// Indirect-block chunk key → physical metadata block.
-    indirect: HashMap<u64, u32>,
+    indirect: BTreeMap<u64, u32>,
 }
 
 /// Aggregate counters.
@@ -118,8 +118,8 @@ pub struct DiskFs {
     disk: Disk,
     cache: BufferCache,
     pm: DiskPowerManager,
-    inodes: HashMap<u32, FInode>,
-    files: HashMap<u64, u32>,
+    inodes: BTreeMap<u32, FInode>,
+    files: BTreeMap<u64, u32>,
     free_inos: Vec<u32>,
     next_ino: u32,
     max_inodes: u32,
@@ -151,8 +151,8 @@ impl DiskFs {
                 clock.clone(),
             ),
             pm: DiskPowerManager::new(cfg.spin_down, clock.now()),
-            inodes: HashMap::new(),
-            files: HashMap::new(),
+            inodes: BTreeMap::new(),
+            files: BTreeMap::new(),
             free_inos: Vec::new(),
             next_ino: 1,
             max_inodes,

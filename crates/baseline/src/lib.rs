@@ -16,6 +16,8 @@
 //! traces drive it and the memory-resident file system (experiments T2,
 //! F7).
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod elevator;
 pub mod ffs;

@@ -13,6 +13,7 @@
 //! cargo run --release -p ssmc-bench --bin experiments -- f2 f4
 //! ```
 
+pub mod alloc_sentinel;
 pub mod exp;
 pub mod obs_trace;
 

@@ -16,6 +16,8 @@
 //! * [`lifetime`] — flash lifetime projection from observed wear
 //!   (experiment F4).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod lifetime;
 pub mod machine;

@@ -132,6 +132,7 @@ impl MobileComputer {
     /// Periodic maintenance: charge idle power for elapsed time, drain the
     /// battery, run storage maintenance, and destroy DRAM contents if the
     /// battery has died.
+    // lint: hot-path
     pub fn maintain(&mut self) {
         let now = self.clock.now();
         let dt = now.since(self.last_maintain);
@@ -261,6 +262,7 @@ impl MobileComputer {
 
 impl MobileComputer {
     /// Applies one trace operation without tracing overhead.
+    // lint: hot-path
     fn apply_op(&mut self, op: &FileOp) -> Result<(), FsError> {
         match *op {
             FileOp::Create { file } => {
@@ -294,6 +296,7 @@ impl MobileComputer {
 }
 
 impl TraceTarget for MobileComputer {
+    // lint: hot-path
     fn apply(&mut self, op: &FileOp) -> Result<(), Box<dyn std::error::Error>> {
         self.maintain();
         if !self.recorder.is_enabled() {

@@ -152,6 +152,7 @@ impl Dram {
     }
 
     /// Reads `buf.len()` bytes at `addr`, advancing the clock.
+    // lint: hot-path
     pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<SimDuration> {
         let len = buf.len() as u64;
         self.check(addr, len)?;
@@ -167,6 +168,7 @@ impl Dram {
 
     /// Writes `data` at `addr`, advancing the clock. DRAM needs no erase and
     /// has no endurance limit.
+    // lint: hot-path
     pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<SimDuration> {
         let len = data.len() as u64;
         self.check(addr, len)?;

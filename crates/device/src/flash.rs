@@ -401,6 +401,7 @@ impl Flash {
     /// Reads `buf.len()` bytes starting at `addr`, advancing the clock past
     /// any bank-busy stall plus the read latency. Returns the total latency
     /// experienced (stall included).
+    // lint: hot-path
     pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<SimDuration> {
         let len = buf.len() as u64;
         self.check_range(addr, len)?;
@@ -510,6 +511,7 @@ impl Flash {
     /// Programs `data` at `addr` asynchronously: the bank is occupied until
     /// the returned completion instant, but the caller's clock does not
     /// advance. Used by background flushing in the storage manager.
+    // lint: hot-path
     pub fn program_async(&mut self, addr: u64, data: &[u8]) -> Result<SimTime> {
         let block = self.program_checks(addr, data)?;
         let bank = self.bank_of(addr);

@@ -20,6 +20,8 @@
 //! Every operation charges simulated latency to a shared
 //! [`ssmc_sim::Clock`] and energy to an [`ssmc_sim::EnergyLedger`].
 
+#![forbid(unsafe_code)]
+
 pub mod battery;
 pub mod catalog;
 pub mod disk;

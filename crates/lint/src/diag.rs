@@ -1,0 +1,135 @@
+//! Diagnostics: the rule identifiers, the `file:line: RULE: message`
+//! rendering contract, and the report-JSON encoding used by `--json`.
+
+use ssmc_sim::report::Value;
+use std::fmt;
+
+/// The rule catalog. See DESIGN.md §Static analysis for the policy each
+/// rule enforces and the allowlist format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads (`Instant`, `SystemTime`) outside `crates/bench`.
+    D1,
+    /// `HashMap`/`HashSet` in simulator crates without a determinism
+    /// justification.
+    D2,
+    /// Threading / `std::sync` primitives outside `ssmc_sim::parallel_sweep`.
+    D3,
+    /// External-crate imports (the hermetic-workspace guard).
+    D4,
+    /// Allocation-prone calls inside `// lint: hot-path` functions.
+    H1,
+    /// `unsafe` without an adjacent `// SAFETY:` comment.
+    U1,
+    /// Allowlist hygiene: stale, malformed, or unjustified allow
+    /// directives.
+    A1,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 7] =
+        [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::H1, Rule::U1, Rule::A1];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::H1 => "H1",
+            Rule::U1 => "U1",
+            Rule::A1 => "A1",
+        }
+    }
+
+    /// Parses a rule name as written in an allow directive.
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+impl Diagnostic {
+    /// Encodes the diagnostic as a report-JSON object.
+    pub fn to_report(&self) -> Value {
+        Value::object(vec![
+            ("file", Value::Str(self.file.clone())),
+            ("line", Value::Int(i64::from(self.line))),
+            ("rule", Value::Str(self.rule.name().to_owned())),
+            ("message", Value::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// Encodes a full lint run as a report-JSON object.
+pub fn run_to_report(checked_files: usize, diags: &[Diagnostic]) -> Value {
+    Value::object(vec![
+        ("checked_files", Value::Int(checked_files as i64)),
+        (
+            "rules",
+            Value::Array(
+                Rule::ALL
+                    .iter()
+                    .map(|r| Value::Str(r.name().to_owned()))
+                    .collect(),
+            ),
+        ),
+        (
+            "diagnostics",
+            Value::Array(diags.iter().map(Diagnostic::to_report).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_contract() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: Rule::D2,
+            message: "HashMap in simulator crate".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:7: D2: HashMap in simulator crate"
+        );
+    }
+
+    #[test]
+    fn report_encoding_round_trips_fields() {
+        let d = Diagnostic {
+            file: "a.rs".into(),
+            line: 1,
+            rule: Rule::H1,
+            message: "m".into(),
+        };
+        let v = run_to_report(3, &[d]);
+        assert_eq!(v.get("checked_files").and_then(Value::as_i64), Some(3));
+        let diags = v.get("diagnostics").and_then(Value::as_array).unwrap();
+        assert_eq!(diags[0].get("rule").and_then(Value::as_str), Some("H1"));
+    }
+}

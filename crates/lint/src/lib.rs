@@ -1,0 +1,90 @@
+//! `ssmc-lint`: the in-tree invariant linter.
+//!
+//! A dependency-free static analysis pass over every workspace `.rs`
+//! file, enforcing the determinism, hermeticity, and hot-path allocation
+//! rules catalogued in DESIGN.md §Static analysis. The linter is built
+//! from a hand-rolled lexer ([`lexer`]) and a token-pattern rule engine
+//! ([`rules`]); it deliberately has no external dependencies, because
+//! rule D4 is the property that keeps it that way.
+//!
+//! Run it with `cargo run -p ssmc-lint -- --workspace`.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{run_to_report, Diagnostic, Rule};
+pub use rules::lint_source;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: build output, VCS metadata, and the
+/// linter's own fixture corpus (which exists to violate the rules).
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// Maps a repo-relative path to the cargo package that owns it:
+/// `crates/<name>/...` → `ssmc-<name>`, everything else → the root
+/// package `ssmc`.
+pub fn crate_for_path(rel: &str) -> String {
+    let rel = rel.replace('\\', "/");
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return format!("ssmc-{name}");
+        }
+    }
+    "ssmc".to_owned()
+}
+
+/// Lints every `.rs` file under `root` (the workspace root). Returns the
+/// number of files checked plus all diagnostics, sorted by path.
+pub fn lint_workspace(root: &Path) -> io::Result<(usize, Vec<Diagnostic>)> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let krate = crate_for_path(&rel_str);
+        diags.extend(lint_source(&rel_str, &krate, &src));
+    }
+    Ok((files.len(), diags))
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_owned());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(crate_for_path("crates/storage/src/manager.rs"), "ssmc-storage");
+        assert_eq!(crate_for_path("crates/bench/benches/simulator.rs"), "ssmc-bench");
+        assert_eq!(crate_for_path("src/lib.rs"), "ssmc");
+        assert_eq!(crate_for_path("tests/determinism.rs"), "ssmc");
+        assert_eq!(crate_for_path("examples/replay.rs"), "ssmc");
+    }
+}

@@ -1,0 +1,88 @@
+//! CLI for `ssmc-lint`.
+//!
+//! ```text
+//! cargo run -p ssmc-lint -- --workspace [--root PATH] [--json]
+//! ```
+//!
+//! Exits 0 when the tree lints clean, 1 when any diagnostic fires, 2 on
+//! usage or I/O errors. Diagnostics print as `file:line: RULE: message`;
+//! `--json` emits the run as report JSON on stdout instead.
+
+#![forbid(unsafe_code)]
+
+use ssmc_lint::{lint_workspace, run_to_report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ssmc-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("ssmc-lint: unknown argument `{other}`");
+                eprintln!("usage: ssmc-lint --workspace [--root PATH] [--json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("usage: ssmc-lint --workspace [--root PATH] [--json]");
+        return ExitCode::from(2);
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let (checked, diags) = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ssmc-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", run_to_report(checked, &diags).encode_pretty());
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        eprintln!(
+            "ssmc-lint: checked {checked} files, {} diagnostic{}",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from the current directory to the first directory containing
+/// a `Cargo.toml` with a `[workspace]` table.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! The rule engine: token-pattern checks, scope policy, region detection
+//! (`#[cfg(test)]` bodies, `// lint: hot-path` functions), and the
+//! per-site allow directive machinery.
+//!
+//! # Allow directives
+//!
+//! A finding is suppressed by an allow comment on the same line or the
+//! line directly above the flagged site. The directive must be the
+//! *start* of the comment text (so prose that merely mentions the syntax
+//! is inert), and reads: `lint: allow(RULE): justification` after the
+//! comment marker.
+//!
+//! Every directive must name a real rule and carry a written
+//! justification (at least ten characters); a directive that suppresses
+//! nothing is itself reported (A1) so the allowlist cannot rot.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// Crates whose simulation results must be run-to-run deterministic.
+/// Rule D2 (unordered-container iteration) applies only to these.
+const SIM_CRATES: [&str; 8] = [
+    "ssmc-core",
+    "ssmc-storage",
+    "ssmc-memfs",
+    "ssmc-vm",
+    "ssmc-device",
+    "ssmc-sim",
+    "ssmc-trace",
+    "ssmc-baseline",
+];
+
+/// The files allowed to use threads and `std::sync`: the
+/// `parallel_sweep` fan-out documented in DESIGN.md, and the counting
+/// global allocator (the `GlobalAlloc` contract hands out `&self` from
+/// any thread, so its counters must be atomic even though the bench
+/// itself is single-threaded).
+const D3_EXEMPT_FILES: [&str; 2] = ["crates/sim/src/par.rs", "crates/bench/src/alloc_sentinel.rs"];
+
+/// `use` roots that do not name an external crate: the language/std
+/// roots plus the workspace's own `ssmc_*` crates. Roots that name a
+/// sibling `mod`, a name bound by another `use` in the file (uniform
+/// paths, e.g. `use fmt::Write` after `use std::fmt`), or a capitalized
+/// type path (`use TokKind::*`) are also accepted — see
+/// [`collect_local_roots`].
+const ALLOWED_USE_ROOTS: [&str; 6] = ["std", "core", "alloc", "crate", "self", "Self"];
+
+/// `std::sync` primitive type names flagged by D3. `Ordering` is
+/// deliberately absent: it collides with `cmp::Ordering`, and importing
+/// it is harmless without one of these to use it on.
+const SYNC_PRIMITIVES: [&str; 13] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "Once",
+    "OnceLock",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI64",
+    "AtomicPtr",
+];
+
+/// Allocation-prone token patterns rejected inside hot-path functions
+/// (H1). Each entry is (pattern, needs-leading-dot, human name).
+/// Patterns are matched against comment-free tokens; `::` appears as two
+/// `:` puncts.
+const H1_PATTERNS: &[(&[Pat], bool, &str)] = &[
+    (&[Pat::Id("Box"), Pat::P(':'), Pat::P(':'), Pat::Id("new")], false, "Box::new"),
+    (&[Pat::Id("Vec"), Pat::P(':'), Pat::P(':'), Pat::Id("new")], false, "Vec::new"),
+    (&[Pat::Id("vec"), Pat::P('!')], false, "vec! macro"),
+    (&[Pat::Id("format"), Pat::P('!')], false, "format! macro"),
+    (&[Pat::Id("String"), Pat::P(':'), Pat::P(':'), Pat::Id("from")], false, "String::from"),
+    (&[Pat::Id("to_vec")], true, ".to_vec()"),
+    (&[Pat::Id("to_string")], true, ".to_string()"),
+    (&[Pat::Id("to_owned")], true, ".to_owned()"),
+    (&[Pat::Id("clone")], true, ".clone()"),
+    (&[Pat::Id("collect")], true, ".collect()"),
+];
+
+/// A token pattern element.
+#[derive(Debug, Clone, Copy)]
+enum Pat {
+    Id(&'static str),
+    P(char),
+}
+
+fn matches_at(sig: &[&Tok], i: usize, pat: &[Pat]) -> bool {
+    if i + pat.len() > sig.len() {
+        return false;
+    }
+    pat.iter().enumerate().all(|(k, p)| match p {
+        Pat::Id(s) => sig[i + k].ident() == Some(s),
+        Pat::P(c) => sig[i + k].is_punct(*c),
+    })
+}
+
+/// An inclusive range of source lines.
+#[derive(Debug, Clone, Copy)]
+struct LineSpan {
+    start: u32,
+    end: u32,
+}
+
+fn in_spans(line: u32, spans: &[LineSpan]) -> bool {
+    spans.iter().any(|s| line >= s.start && line <= s.end)
+}
+
+/// A parsed `lint: allow(RULE): justification` directive. It suppresses
+/// findings of `rule` on its own line (trailing directive) or on
+/// `target_line` — the next line below it that holds code, so a
+/// justification may span several comment lines.
+struct AllowDirective {
+    line: u32,
+    target_line: u32,
+    rule: Rule,
+    used: bool,
+}
+
+/// Lints one source file. `path` is the repo-relative display path;
+/// `crate_name` decides rule scope (`ssmc`, `ssmc-bench`, `ssmc-lint`,
+/// or a simulator crate).
+pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
+    let toks = lex(src);
+    // Comment-free view for pattern matching; comments would otherwise
+    // break adjacency in sequences like `Box :: new`.
+    let sig: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::Comment(_)))
+        .collect();
+
+    let test_spans = find_cfg_test_spans(&sig);
+    let hot_spans = find_hot_spans(&toks, &sig);
+    let local_roots = collect_local_roots(&sig);
+    let (mut allows, mut diags) = parse_allow_directives(path, &toks);
+    for a in &mut allows {
+        a.target_line = sig
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > a.line)
+            .unwrap_or(a.line);
+    }
+    let safety_lines: Vec<u32> = toks
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokKind::Comment(c) if c.contains("SAFETY:") => Some(t.line),
+            _ => None,
+        })
+        .collect();
+
+    let is_sim = SIM_CRATES.contains(&crate_name);
+    let is_bench = crate_name == "ssmc-bench";
+    let d3_exempt = D3_EXEMPT_FILES.iter().any(|f| path.ends_with(f));
+
+    // Candidate findings, deduplicated per (line, rule) so one source
+    // line yields at most one diagnostic per rule.
+    let mut seen: BTreeSet<(u32, &'static str)> = BTreeSet::new();
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    let mut push = |findings: &mut Vec<Diagnostic>, line: u32, rule: Rule, msg: String| {
+        if seen.insert((line, rule.name())) {
+            findings.push(Diagnostic { file: path.to_owned(), line, rule, message: msg });
+        }
+    };
+
+    for (i, t) in sig.iter().enumerate() {
+        let line = t.line;
+        let in_test = in_spans(line, &test_spans);
+
+        // D1 — wall-clock reads. Applies everywhere (including tests)
+        // except the bench crate, whose whole purpose is host timing.
+        if !is_bench {
+            if let Some(id @ ("Instant" | "SystemTime")) = t.ident() {
+                push(
+                    &mut findings,
+                    line,
+                    Rule::D1,
+                    format!("wall-clock type `{id}` outside crates/bench; simulator code must use SimTime"),
+                );
+            }
+        }
+
+        // D2 — unordered containers in simulator crates (non-test code).
+        if is_sim && !in_test {
+            if let Some(id @ ("HashMap" | "HashSet")) = t.ident() {
+                push(
+                    &mut findings,
+                    line,
+                    Rule::D2,
+                    format!(
+                        "`{id}` in simulator crate `{crate_name}`; iteration order is host-random — use BTreeMap/DenseIndex or allow with a determinism argument"
+                    ),
+                );
+            }
+        }
+
+        // D3 — threading and std::sync outside parallel_sweep.
+        if !d3_exempt && !in_test {
+            let hit = if matches_at(&sig, i, &[Pat::Id("thread"), Pat::P(':'), Pat::P(':'), Pat::Id("spawn")]) {
+                Some("thread::spawn")
+            } else if matches_at(&sig, i, &[Pat::Id("thread"), Pat::P(':'), Pat::P(':'), Pat::Id("scope")]) {
+                Some("thread::scope")
+            } else if matches_at(&sig, i, &[Pat::Id("std"), Pat::P(':'), Pat::P(':'), Pat::Id("sync")]) {
+                Some("std::sync")
+            } else {
+                t.ident().filter(|id| SYNC_PRIMITIVES.contains(id)).map(|_| "sync primitive")
+            };
+            if let Some(what) = hit {
+                let id = t.ident().unwrap_or("?");
+                push(
+                    &mut findings,
+                    line,
+                    Rule::D3,
+                    format!("{what} `{id}` outside ssmc_sim::parallel_sweep; the simulator is single-threaded by design"),
+                );
+            }
+        }
+
+        // D4 — external-crate imports (hermetic-workspace guard).
+        if t.ident() == Some("use") {
+            // Skip a leading `::` (2015-style global path).
+            let mut j = i + 1;
+            while j < sig.len() && sig[j].is_punct(':') {
+                j += 1;
+            }
+            if let Some(root) = sig.get(j).and_then(|t| t.ident()) {
+                let allowed = ALLOWED_USE_ROOTS.contains(&root)
+                    || root == "super"
+                    || root == "ssmc"
+                    || root.starts_with("ssmc_")
+                    || root.starts_with(char::is_uppercase)
+                    || local_roots.contains(root);
+                if !allowed {
+                    push(
+                        &mut findings,
+                        line,
+                        Rule::D4,
+                        format!("import of external crate `{root}`; the workspace is hermetic (in-tree code only)"),
+                    );
+                }
+            }
+        }
+        if t.ident() == Some("extern")
+            && sig.get(i + 1).and_then(|t| t.ident()) == Some("crate")
+        {
+            push(
+                &mut findings,
+                line,
+                Rule::D4,
+                "extern crate declaration; the workspace is hermetic (in-tree code only)".to_owned(),
+            );
+        }
+
+        // H1 — allocation-prone calls inside `// lint: hot-path` fns.
+        if !in_test && in_spans(line, &hot_spans) {
+            for (pat, needs_dot, name) in H1_PATTERNS {
+                if matches_at(&sig, i, pat) {
+                    if *needs_dot && !(i > 0 && sig[i - 1].is_punct('.')) {
+                        continue;
+                    }
+                    push(
+                        &mut findings,
+                        line,
+                        Rule::H1,
+                        format!("allocation-prone call {name} inside a hot-path function"),
+                    );
+                }
+            }
+        }
+
+        // U1 — unsafe without an adjacent SAFETY comment.
+        if t.ident() == Some("unsafe") {
+            let documented = safety_lines
+                .iter()
+                .any(|&sl| sl <= line && line.saturating_sub(sl) <= 3);
+            if !documented {
+                push(
+                    &mut findings,
+                    line,
+                    Rule::U1,
+                    "unsafe without a `// SAFETY:` comment within the three preceding lines".to_owned(),
+                );
+            }
+        }
+    }
+
+    // Apply allow directives: a directive on line L suppresses findings
+    // of its rule on line L or L+1.
+    for d in findings {
+        let allowed = allows.iter_mut().find(|a| {
+            a.rule == d.rule && (a.line == d.line || a.target_line == d.line)
+        });
+        match allowed {
+            Some(a) => a.used = true,
+            None => diags.push(d),
+        }
+    }
+
+    // Stale directives are findings too — the allowlist must not rot.
+    for a in &allows {
+        if !a.used {
+            diags.push(Diagnostic {
+                file: path.to_owned(),
+                line: a.line,
+                rule: Rule::A1,
+                message: format!(
+                    "stale allow({}): no matching finding at its target line",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Parses every `lint: allow(RULE): justification` directive in the
+/// file. Malformed or unjustified directives are reported immediately
+/// (A1) and do not suppress anything.
+fn parse_allow_directives(
+    path: &str,
+    toks: &[Tok],
+) -> (Vec<AllowDirective>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for t in toks {
+        let TokKind::Comment(text) = &t.kind else { continue };
+        // The directive must open the comment; prose that merely
+        // mentions the syntax (like this sentence) is inert.
+        let Some(rest) = text.trim_start().strip_prefix("lint: allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            diags.push(Diagnostic {
+                file: path.to_owned(),
+                line: t.line,
+                rule: Rule::A1,
+                message: "malformed allow directive: missing `)`".to_owned(),
+            });
+            continue;
+        };
+        let rule_name = rest[..close].trim();
+        let after = &rest[close + 1..];
+        let Some(rule) = Rule::parse(rule_name) else {
+            diags.push(Diagnostic {
+                file: path.to_owned(),
+                line: t.line,
+                rule: Rule::A1,
+                message: format!("allow directive names unknown rule `{rule_name}`"),
+            });
+            continue;
+        };
+        let just = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if just.len() < 10 {
+            diags.push(Diagnostic {
+                file: path.to_owned(),
+                line: t.line,
+                rule: Rule::A1,
+                message: format!(
+                    "allow({rule}) requires a written justification with at least ten characters"
+                ),
+            });
+            continue;
+        }
+        allows.push(AllowDirective { line: t.line, target_line: t.line, rule, used: false });
+    }
+    (allows, diags)
+}
+
+/// Collects `use`-path roots that are locally bound in this file: names
+/// declared by `mod` items and names bound by other `use` statements
+/// (Rust 2018 uniform paths let `use fmt::Write` resolve through an
+/// earlier `use std::fmt`).
+fn collect_local_roots(sig: &[&Tok]) -> BTreeSet<String> {
+    let mut roots = BTreeSet::new();
+    let mut i = 0;
+    while i < sig.len() {
+        match sig[i].ident() {
+            Some("mod") => {
+                if let Some(name) = sig.get(i + 1).and_then(|t| t.ident()) {
+                    roots.insert(name.to_owned());
+                }
+            }
+            Some("use") => {
+                // Every ident after the root is a name the statement may
+                // bind (`use std::fmt;` binds `fmt`). The root itself is
+                // deliberately excluded so an external import cannot
+                // launder its own name.
+                let mut j = i + 1;
+                let mut seen_root = false;
+                while j < sig.len() && !sig[j].is_punct(';') {
+                    if let Some(id) = sig[j].ident() {
+                        if seen_root {
+                            roots.insert(id.to_owned());
+                        } else {
+                            seen_root = true;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    roots
+}
+
+/// Finds the line spans of `#[cfg(test)]`-gated items (attribute through
+/// closing brace). Test code is exempt from D2/D3/H1: it does not run in
+/// the simulation and freely builds scaffolding.
+fn find_cfg_test_spans(sig: &[&Tok]) -> Vec<LineSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].is_punct('#') && sig.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let start_line = sig[i].line;
+            let attr_start = i + 2;
+            let mut depth = 1usize;
+            let mut j = attr_start;
+            while j < sig.len() && depth > 0 {
+                if sig[j].is_punct('[') {
+                    depth += 1;
+                } else if sig[j].is_punct(']') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr = &sig[attr_start..j.saturating_sub(1)];
+            let has = |name: &str| attr.iter().any(|t| t.ident() == Some(name));
+            if has("cfg") && has("test") && !has("not") {
+                if let Some(end) = item_end_line(sig, j) {
+                    spans.push(LineSpan { start: start_line, end });
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Finds the line spans of functions annotated `// lint: hot-path`: from
+/// the next `fn` keyword through its matching closing brace.
+fn find_hot_spans(toks: &[Tok], sig: &[&Tok]) -> Vec<LineSpan> {
+    let mut spans = Vec::new();
+    for t in toks {
+        let TokKind::Comment(c) = &t.kind else { continue };
+        // Start-anchored, like allow directives: prose mentioning the
+        // marker syntax must not create a hot region.
+        if !c.trim_start().starts_with("lint: hot-path") {
+            continue;
+        }
+        // First `fn` at or after the marker's line.
+        let Some(fn_idx) = sig
+            .iter()
+            .position(|s| s.line >= t.line && s.ident() == Some("fn"))
+        else {
+            continue;
+        };
+        if let Some(end) = item_end_line(sig, fn_idx + 1) {
+            spans.push(LineSpan { start: sig[fn_idx].line, end });
+        }
+    }
+    spans
+}
+
+/// Scans forward from `from` for the end of the current item: a `;` at
+/// bracket depth zero (no body) or the close of the first `{...}` block.
+/// Returns the ending line.
+fn item_end_line(sig: &[&Tok], from: usize) -> Option<u32> {
+    let mut paren = 0i32;
+    let mut j = from;
+    // Skip any further attributes between here and the item.
+    while j < sig.len() {
+        let t = sig[j];
+        match &t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+            TokKind::Punct(';') if paren == 0 => return Some(t.line),
+            TokKind::Punct('{') if paren == 0 => {
+                // Brace-match the body.
+                let mut depth = 1i32;
+                let mut k = j + 1;
+                while k < sig.len() {
+                    if sig[k].is_punct('{') {
+                        depth += 1;
+                    } else if sig[k].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(sig[k].line);
+                        }
+                    }
+                    k += 1;
+                }
+                return Some(sig.last()?.line);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(path: &str, krate: &str, src: &str) -> Vec<String> {
+        lint_source(path, krate, src)
+            .into_iter()
+            .map(|d| d.rule.name().to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn d2_skips_cfg_test_items() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n}\n";
+        assert!(rules_fired("x.rs", "ssmc-storage", src).is_empty());
+    }
+
+    #[test]
+    fn d2_fires_once_per_line_outside_tests() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let diags = lint_source("x.rs", "ssmc-storage", src);
+        assert_eq!(diags.len(), 2); // line 1 and line 2, deduped within each
+        assert!(diags.iter().all(|d| d.rule == Rule::D2));
+    }
+
+    #[test]
+    fn d2_does_not_apply_outside_sim_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(rules_fired("x.rs", "ssmc-lint", src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_consumes_and_requires_justification() {
+        let good = "// lint: allow(D2): keyed access only, never iterated.\nuse std::collections::HashMap;\n";
+        assert!(rules_fired("x.rs", "ssmc-core", good).is_empty());
+        let unjustified = "// lint: allow(D2)\nuse std::collections::HashMap;\n";
+        let fired = rules_fired("x.rs", "ssmc-core", unjustified);
+        assert!(fired.contains(&"A1".to_owned()) && fired.contains(&"D2".to_owned()));
+    }
+
+    #[test]
+    fn stale_allow_is_reported() {
+        let src = "// lint: allow(D1): nothing here actually uses Instant.\nfn f() {}\n";
+        let diags = lint_source("x.rs", "ssmc-core", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::A1);
+    }
+
+    #[test]
+    fn h1_only_applies_inside_marked_fns() {
+        let src = "fn cold() { let v = vec![1]; }\n// lint: hot-path\nfn hot() { let v = vec![1]; }\n";
+        let diags = lint_source("x.rs", "ssmc-storage", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].rule, diags[0].line), (Rule::H1, 3));
+    }
+
+    #[test]
+    fn h1_dot_patterns_require_a_receiver() {
+        // A function *named* clone is not a `.clone()` call.
+        let src = "// lint: hot-path\nfn hot(x: &X) { clone(x); }\n";
+        assert!(rules_fired("x.rs", "ssmc-storage", src).is_empty());
+    }
+
+    #[test]
+    fn u1_accepts_nearby_safety_comment() {
+        let bad = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        assert_eq!(rules_fired("x.rs", "ssmc-bench", bad), vec!["U1"]);
+        let good = "// SAFETY: guarded by the bounds check above.\nfn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        assert!(rules_fired("x.rs", "ssmc-bench", good).is_empty());
+    }
+
+    #[test]
+    fn d4_flags_external_roots_only() {
+        let src = "use std::fmt;\nuse crate::x;\nuse ssmc_sim::report;\nuse serde::Serialize;\n";
+        let diags = lint_source("x.rs", "ssmc-core", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].rule, diags[0].line), (Rule::D4, 4));
+    }
+
+    #[test]
+    fn d3_exempts_par_rs_and_tests() {
+        let src = "use std::sync::Mutex;\n";
+        assert!(rules_fired("crates/sim/src/par.rs", "ssmc-sim", src).is_empty());
+        assert_eq!(rules_fired("crates/sim/src/other.rs", "ssmc-sim", src), vec!["D3"]);
+    }
+
+    #[test]
+    fn d1_ignores_comments_and_strings() {
+        let src = "// Instant is banned here\nfn f() { let s = \"Instant\"; }\n";
+        assert!(rules_fired("x.rs", "ssmc-core", src).is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Fixture-corpus check: every `*_bad.rs` fixture must produce exactly
+//! one diagnostic of its rule, and every `*_clean.rs` fixture must
+//! produce none. The fixtures live outside the workspace walk (the
+//! walker skips `fixtures/` directories) and are never compiled — they
+//! are pure lexer/rule-engine input.
+
+use ssmc_lint::{lint_source, Rule};
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Fixtures lint as simulator-crate code so every rule is in scope.
+const FIXTURE_CRATE: &str = "ssmc-storage";
+
+#[test]
+fn every_bad_fixture_fires_its_rule_exactly_once() {
+    for rule in Rule::ALL {
+        let name = format!("{}_bad.rs", rule.name().to_lowercase());
+        let src = fixture(&name);
+        let path = format!("crates/lint/tests/fixtures/{name}");
+        let diags = lint_source(&path, FIXTURE_CRATE, &src);
+        assert_eq!(
+            diags.len(),
+            1,
+            "{name}: expected exactly one diagnostic, got {:?}",
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+        assert_eq!(diags[0].rule, rule, "{name}: wrong rule: {}", diags[0]);
+    }
+}
+
+#[test]
+fn every_clean_fixture_is_silent() {
+    for rule in Rule::ALL {
+        let name = format!("{}_clean.rs", rule.name().to_lowercase());
+        let src = fixture(&name);
+        let path = format!("crates/lint/tests/fixtures/{name}");
+        let diags = lint_source(&path, FIXTURE_CRATE, &src);
+        assert!(
+            diags.is_empty(),
+            "{name}: expected no diagnostics, got {:?}",
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_diagnostics_render_the_contract_format() {
+    let src = fixture("d2_bad.rs");
+    let diags = lint_source("crates/lint/tests/fixtures/d2_bad.rs", FIXTURE_CRATE, &src);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/lint/tests/fixtures/d2_bad.rs:") && rendered.contains(": D2: "),
+        "unexpected rendering: {rendered}"
+    );
+}

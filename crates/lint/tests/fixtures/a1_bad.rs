@@ -1,0 +1,4 @@
+// Fixture: A1 must fire exactly once — a stale allow directive whose
+// target line has no matching finding.
+// lint: allow(D2): this justification is fine, but nothing below needs it.
+fn nothing_to_suppress() {}

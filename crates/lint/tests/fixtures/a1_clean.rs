@@ -1,0 +1,7 @@
+// Fixture: A1 must not fire — the directive is consumed by a real
+// finding on its target line, and prose mentioning `lint: allow(...)`
+// mid-comment (like the previous line) is not a directive.
+// lint: allow(D2): keyed lookup only; never iterated, order is inert.
+fn lookup(map: &HashMap<u64, u64>, k: u64) -> Option<u64> {
+    map.get(&k).copied()
+}

@@ -1,0 +1,7 @@
+// Fixture: D1 must fire exactly once — a wall-clock read in simulator
+// code. (Fixture files are excluded from the workspace walk and never
+// compiled; they exist only as lexer/rule-engine input.)
+fn elapsed_wall() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

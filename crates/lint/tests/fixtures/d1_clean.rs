@@ -1,0 +1,8 @@
+// Fixture: D1 must not fire — simulated time only, and mentions of
+// wall-clock types in comments (Instant, SystemTime) or strings are
+// inert.
+fn elapsed_sim(clock: &SharedClock) -> SimTime {
+    let note = "Instant and SystemTime are banned";
+    let _ = note;
+    clock.now()
+}

@@ -1,0 +1,5 @@
+// Fixture: D2 must fire exactly once — HashMap iteration in a
+// simulator crate with no allow directive.
+fn sum_values(map: &HashMap<u64, u64>) -> u64 {
+    map.values().sum()
+}

@@ -1,0 +1,21 @@
+// Fixture: D2 must not fire — an allowlisted keyed-only map (with a
+// written justification), a BTreeMap, and HashMap inside #[cfg(test)].
+use std::collections::BTreeMap;
+
+struct Table {
+    // lint: allow(D2): keyed get/insert only; this map is never
+    // iterated, so its order cannot reach simulated output.
+    index: HashMap<u64, u32>,
+    ordered: BTreeMap<u64, u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scaffolding_may_hash() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

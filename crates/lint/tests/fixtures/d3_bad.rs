@@ -1,0 +1,6 @@
+// Fixture: D3 must fire exactly once — a thread spawn outside
+// ssmc_sim::parallel_sweep.
+fn fan_out() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

@@ -1,0 +1,8 @@
+// Fixture: D3 must not fire — single-threaded simulator code. Naming a
+// Mutex in a comment or string is inert, and `Ordering` alone (the
+// cmp kind) is deliberately not flagged.
+fn pick(a: u64, b: u64) -> std::cmp::Ordering {
+    let note = "no Mutex here";
+    let _ = note;
+    a.cmp(&b)
+}

@@ -1,0 +1,5 @@
+// Fixture: D4 must fire exactly once — an external-crate import in the
+// hermetic workspace.
+use serde::Serialize;
+
+fn noop() {}

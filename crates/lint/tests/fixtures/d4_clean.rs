@@ -1,0 +1,11 @@
+// Fixture: D4 must not fire — std, workspace crates, crate-relative,
+// sibling-module, and uniform-path imports are all in-tree.
+use std::fmt;
+use ssmc_sim::SimTime;
+use crate::helpers;
+use fmt::Write as _;
+
+mod helpers;
+use helpers::assist;
+
+fn noop() {}

@@ -1,0 +1,5 @@
+// Fixture: U1 must fire exactly once — an unsafe block with no SAFETY
+// comment anywhere near it.
+fn read_unchecked(v: &[u8], i: usize) -> u8 {
+    unsafe { *v.get_unchecked(i) }
+}

@@ -1,0 +1,7 @@
+// Fixture: U1 must not fire — the unsafe block is documented by an
+// adjacent SAFETY comment.
+fn read_unchecked(v: &[u8], i: usize) -> u8 {
+    assert!(i < v.len());
+    // SAFETY: the bounds check above guarantees `i` is in range.
+    unsafe { *v.get_unchecked(i) }
+}

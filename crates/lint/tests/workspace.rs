@@ -1,0 +1,28 @@
+//! Self-test: the live workspace must lint clean. This is the same
+//! check `scripts/ci.sh` runs via the CLI, wired into `cargo test` so a
+//! violation fails the suite even when CI is not involved.
+
+use ssmc_lint::lint_workspace;
+use std::path::PathBuf;
+
+#[test]
+fn live_workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let (checked, diags) = lint_workspace(&root).expect("walk workspace");
+    // The workspace has 9 crates plus the root package; anything under
+    // ~50 files means the walker silently missed most of the tree.
+    assert!(checked > 50, "only {checked} files checked — walker is broken");
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean, got {} diagnostics:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -22,6 +22,8 @@
 //! runs the storage-level recovery and then a small fsck that drops
 //! dangling directory entries and frees orphaned inodes.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod fs;
 pub mod layout;

@@ -21,6 +21,8 @@
 //! * [`par`] — deterministic order-preserving parallel sweep runner.
 //! * [`obs`] — deterministic cross-layer span journal and metrics registry.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod energy;
 pub mod events;

@@ -13,13 +13,20 @@
 //! Bookkeeping is slab-style: frame metadata lives in a flat array indexed
 //! by frame number, and the page→frame lookup goes through the shared
 //! [`DenseIndex`], so the per-write hot path (insert/touch/remove) does no
-//! hashing and no allocation.
+//! hashing and no allocation. The LRW order is an intrusive doubly-linked
+//! list threaded through the frame slab (coldest at the head): because the
+//! simulated clock is monotonic, appending every insert/touch at the tail
+//! keeps the list sorted by last-write time with O(1) updates and zero
+//! allocation — the previous `BTreeSet` index allocated tree nodes on the
+//! per-write path, which the alloc-guard bench now forbids.
 
 use crate::dense::DenseIndex;
 use crate::map::PageId;
-use std::collections::BTreeSet;
 
 use ssmc_sim::SimTime;
+
+/// Null link in the intrusive LRW list.
+const NIL: usize = usize::MAX;
 
 /// Bookkeeping for one occupied page frame.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +36,10 @@ struct FrameMeta {
     last_write: SimTime,
     /// Instant the page first became dirty (data-at-risk age).
     dirty_since: SimTime,
+    /// Previous (colder) frame in the LRW list, or [`NIL`].
+    prev: usize,
+    /// Next (hotter) frame in the LRW list, or [`NIL`].
+    next: usize,
 }
 
 /// A fixed-capacity pool of page frames holding dirty pages.
@@ -40,8 +51,10 @@ pub struct WriteBuffer {
     frames: Vec<Option<FrameMeta>>,
     /// Page → frame number.
     index: DenseIndex<usize>,
-    /// Last-write-time index for cold-first flushing.
-    lrw: BTreeSet<(SimTime, PageId)>,
+    /// Coldest frame (head of the LRW list), or [`NIL`].
+    head: usize,
+    /// Hottest frame (tail of the LRW list), or [`NIL`].
+    tail: usize,
 }
 
 impl WriteBuffer {
@@ -52,7 +65,8 @@ impl WriteBuffer {
             free: (0..frames).rev().collect(),
             frames: vec![None; frames],
             index: DenseIndex::new(crate::map::DEFAULT_DENSE_PAGES),
-            lrw: BTreeSet::new(),
+            head: NIL,
+            tail: NIL,
         }
     }
 
@@ -103,8 +117,58 @@ impl WriteBuffer {
             .map(|m| m.dirty_since)
     }
 
+    /// Appends `frame` at the (hottest) tail of the LRW list. The caller
+    /// must have stamped `last_write` with a clock reading at or after
+    /// every other frame's — the monotonic simulated clock guarantees it.
+    fn link_tail(&mut self, frame: usize) {
+        let old_tail = self.tail;
+        if let Some(m) = self.frames[frame].as_mut() {
+            m.prev = old_tail;
+            m.next = NIL;
+        }
+        match old_tail {
+            NIL => self.head = frame,
+            t => {
+                debug_assert!(
+                    self.frames[t].map(|m| m.last_write).unwrap_or(SimTime::ZERO)
+                        <= self.frames[frame].map(|m| m.last_write).unwrap_or(SimTime::ZERO),
+                    "LRW append out of time order — clock went backwards?"
+                );
+                if let Some(m) = self.frames[t].as_mut() {
+                    m.next = frame;
+                }
+            }
+        }
+        self.tail = frame;
+    }
+
+    /// Unlinks `frame` from the LRW list.
+    fn unlink(&mut self, frame: usize) {
+        let (prev, next) = match &self.frames[frame] {
+            Some(m) => (m.prev, m.next),
+            None => return,
+        };
+        match prev {
+            NIL => self.head = next,
+            p => {
+                if let Some(m) = self.frames[p].as_mut() {
+                    m.next = next;
+                }
+            }
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => {
+                if let Some(m) = self.frames[n].as_mut() {
+                    m.prev = prev;
+                }
+            }
+        }
+    }
+
     /// Inserts a new dirty page, returning its frame, or `None` if the
     /// buffer is full (caller must flush first).
+    // lint: hot-path
     pub fn insert(&mut self, page: PageId, now: SimTime) -> Option<usize> {
         debug_assert!(!self.index.contains(page), "page already buffered");
         let frame = self.free.pop()?;
@@ -112,9 +176,11 @@ impl WriteBuffer {
             page,
             last_write: now,
             dirty_since: now,
+            prev: NIL,
+            next: NIL,
         });
         self.index.insert(page, frame);
-        self.lrw.insert((now, page));
+        self.link_tail(frame);
         Some(frame)
     }
 
@@ -124,56 +190,89 @@ impl WriteBuffer {
     /// # Panics
     ///
     /// Panics if the page is not buffered.
+    // lint: hot-path
     pub fn touch(&mut self, page: PageId, now: SimTime) -> usize {
         let frame = self.index.get(page).expect("touch of unbuffered page");
+        self.unlink(frame);
         let meta = self.frames[frame].as_mut().expect("frame slab out of sync");
-        let removed = self.lrw.remove(&(meta.last_write, page));
-        debug_assert!(removed);
         meta.last_write = now;
-        self.lrw.insert((now, page));
+        self.link_tail(frame);
         frame
     }
 
     /// Removes a page (flushed or cancelled), returning its frame to the
     /// free pool.
+    // lint: hot-path
     pub fn remove(&mut self, page: PageId) -> Option<usize> {
         let frame = self.index.remove(page)?;
+        self.unlink(frame);
         let meta = self.frames[frame].take().expect("frame slab out of sync");
         debug_assert_eq!(meta.page, page);
-        let removed = self.lrw.remove(&(meta.last_write, page));
-        debug_assert!(removed);
         self.free.push(frame);
         Some(frame)
     }
 
     /// The coldest page (least recently written), if any.
     pub fn coldest(&self) -> Option<PageId> {
-        self.lrw.iter().next().map(|(_, p)| *p)
+        match self.head {
+            NIL => None,
+            h => self.frames[h].map(|m| m.page),
+        }
+    }
+
+    /// Walks the LRW list coldest-first, appending up to `limit` pages
+    /// with `last_write <= cutoff` (`SimTime::MAX` disables the cutoff)
+    /// to `out`. The workhorse behind every flush-candidate query; does
+    /// not allocate beyond `out`'s existing capacity.
+    // lint: hot-path
+    pub fn colder_than_into(&self, cutoff: SimTime, limit: usize, out: &mut Vec<PageId>) {
+        let mut cur = self.head;
+        while cur != NIL && out.len() < limit {
+            let Some(m) = self.frames[cur] else { break };
+            if m.last_write > cutoff {
+                break;
+            }
+            out.push(m.page);
+            cur = m.next;
+        }
     }
 
     /// Pages whose last write is at or before `cutoff`, coldest first,
     /// up to `limit`.
     pub fn colder_than(&self, cutoff: SimTime, limit: usize) -> Vec<PageId> {
-        self.lrw
-            .iter()
-            .take_while(|(t, _)| *t <= cutoff)
-            .take(limit)
-            .map(|(_, p)| *p)
-            .collect()
+        let mut out = Vec::new();
+        self.colder_than_into(cutoff, limit, &mut out);
+        out
+    }
+
+    /// Appends up to `k` coldest pages (regardless of age) to `out`.
+    // lint: hot-path
+    pub fn coldest_k_into(&self, k: usize, out: &mut Vec<PageId>) {
+        self.colder_than_into(SimTime::MAX, k, out);
     }
 
     /// Up to `k` coldest pages regardless of age.
     pub fn coldest_k(&self, k: usize) -> Vec<PageId> {
-        self.lrw.iter().take(k).map(|(_, p)| *p).collect()
+        let mut out = Vec::new();
+        self.coldest_k_into(k, &mut out);
+        out
+    }
+
+    /// Appends every buffered page, coldest first, to `out`.
+    ///
+    /// Walks the LRW list rather than the frame slab so the order is
+    /// deterministic: sync-time flushes land on flash in the same order
+    /// on every run, which fixed-seed reproducibility depends on.
+    // lint: hot-path
+    pub fn pages_into(&self, out: &mut Vec<PageId>) {
+        self.colder_than_into(SimTime::MAX, usize::MAX, out);
     }
 
     /// All buffered pages, coldest (least recently written) first.
-    ///
-    /// Iterates the LRW index rather than the frame slab so the order is
-    /// deterministic: sync-time flushes land on flash in the same order
-    /// on every run, which fixed-seed reproducibility depends on.
     pub fn pages(&self) -> Vec<PageId> {
-        self.lrw.iter().map(|(_, p)| *p).collect()
+        let mut out = Vec::new();
+        self.pages_into(&mut out);
+        out
     }
 
     /// Drops every entry without returning frames individually (battery
@@ -181,8 +280,10 @@ impl WriteBuffer {
     pub fn clear(&mut self) {
         self.index.clear();
         self.frames.fill(None);
-        self.lrw.clear();
-        self.free = (0..self.capacity).rev().collect();
+        self.head = NIL;
+        self.tail = NIL;
+        self.free.clear();
+        self.free.extend((0..self.capacity).rev());
     }
 }
 
@@ -277,5 +378,46 @@ mod tests {
         b.remove(10);
         assert_eq!(b.insert(12, t(1)), Some(0));
         assert_eq!(b.insert(13, t(1)), Some(2));
+    }
+
+    #[test]
+    fn into_variants_append_without_reordering() {
+        let mut b = WriteBuffer::new(4);
+        for (p, s) in [(7, 0), (8, 5), (9, 9)] {
+            b.insert(p, t(s));
+        }
+        let mut out = vec![999];
+        b.pages_into(&mut out);
+        assert_eq!(out, vec![999, 7, 8, 9]);
+        out.clear();
+        b.coldest_k_into(2, &mut out);
+        assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn lrw_list_survives_mid_list_removal() {
+        let mut b = WriteBuffer::new(4);
+        b.insert(1, t(0));
+        b.insert(2, t(1));
+        b.insert(3, t(2));
+        b.remove(2);
+        assert_eq!(b.pages(), vec![1, 3]);
+        b.remove(1);
+        assert_eq!(b.pages(), vec![3]);
+        b.remove(3);
+        assert!(b.pages().is_empty());
+        assert_eq!(b.coldest(), None);
+    }
+
+    #[test]
+    fn equal_timestamps_keep_insertion_order() {
+        // Ties cannot occur on the live path (every write advances the
+        // DRAM clock between buffer operations), but the list's tie
+        // behaviour — stable insertion order — is pinned here anyway.
+        let mut b = WriteBuffer::new(3);
+        b.insert(5, t(1));
+        b.insert(3, t(1));
+        b.insert(4, t(1));
+        assert_eq!(b.pages(), vec![5, 3, 4]);
     }
 }

@@ -14,19 +14,23 @@ use ssmc_sim::SimTime;
 /// Picks the next victim among closed segments, or `None` if no closed
 /// segment exists. Full segments (no free slots) with zero live pages are
 /// always preferred — cleaning them is free space at zero copy cost.
+// lint: hot-path
 pub fn pick_victim(table: &SegmentTable, policy: GcPolicy, now: SimTime) -> Option<usize> {
-    let candidates = table.closed_segments();
-    if candidates.is_empty() {
-        return None;
-    }
-    // Free-lunch fast path: a fully dead segment.
-    if let Some(&dead) = candidates.iter().find(|&&s| table.seg(s).live == 0) {
+    // Free-lunch fast path: a fully dead segment. Candidates are walked
+    // through the state iterator — GC runs in the steady-state write
+    // path, so no candidate list is materialised.
+    if let Some(dead) = table
+        .segments_in(SegState::Closed)
+        .find(|&s| table.seg(s).live == 0)
+    {
         return Some(dead);
     }
     match policy {
-        GcPolicy::Greedy => candidates.into_iter().min_by_key(|&s| table.seg(s).live),
-        GcPolicy::CostBenefit => candidates
-            .into_iter()
+        GcPolicy::Greedy => table
+            .segments_in(SegState::Closed)
+            .min_by_key(|&s| table.seg(s).live),
+        GcPolicy::CostBenefit => table
+            .segments_in(SegState::Closed)
             .map(|s| (s, cost_benefit(table, s, now)))
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
             .map(|(s, _)| s),
@@ -47,12 +51,11 @@ pub fn cost_benefit(table: &SegmentTable, seg: usize, now: SimTime) -> f64 {
 /// Picks the *coldest* closed segment — oldest youngest-write — regardless
 /// of utilisation. Static wear leveling migrates this segment's contents
 /// onto the most-worn free block.
+// lint: hot-path
 pub fn pick_coldest(table: &SegmentTable, exclude: &[usize]) -> Option<usize> {
     table
-        .closed_segments()
-        .into_iter()
+        .segments_in(SegState::Closed)
         .filter(|s| !exclude.contains(s))
-        .filter(|&s| table.seg(s).state == SegState::Closed)
         .min_by_key(|&s| table.seg(s).youngest_write)
 }
 

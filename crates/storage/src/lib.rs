@@ -24,6 +24,8 @@
 //! the file system and virtual memory system above address pages, and the
 //! manager decides where they physically live.
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod config;
 pub mod dense;

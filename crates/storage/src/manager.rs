@@ -27,7 +27,6 @@ use crate::Result;
 use ssmc_device::{DeviceError, Dram, Flash};
 use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
 use ssmc_sim::{Energy, EnergyLedger, SharedClock, SimDuration, SimTime};
-use std::collections::BTreeSet;
 
 /// Which write head a segment is opened for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,8 +47,11 @@ struct CkptState {
     /// Pages the latest checkpoint occupies.
     pages: u64,
     /// Segments appended to since the latest checkpoint (recovery must
-    /// re-scan only these).
-    dirtied: BTreeSet<usize>,
+    /// re-scan only these). A bitmap indexed by segment — marking a
+    /// segment dirty happens on every flash program, so it must not
+    /// touch the allocator the way a tree-set insert would; reads scan
+    /// ascending, matching the old ordered-set iteration.
+    dirtied: Vec<bool>,
     /// Last checkpoint instant.
     last: SimTime,
     /// Set when a checkpoint block wears out; checkpointing then stops.
@@ -88,6 +90,12 @@ pub struct StorageManager {
     pending_tombstones: Vec<(PageId, u64)>,
     /// Recycled page-sized scratch buffers for flush/GC/checkpoint paths.
     pool: PagePool,
+    /// Recycled victim-page list for the flush paths (sync, tick aging,
+    /// eviction, watermark). Taken with `mem::take` around each use so a
+    /// re-entrant call degrades to an allocation instead of aliasing.
+    flush_scratch: Vec<PageId>,
+    /// Recycled live-slot list for the GC and wear-leveling copy loops.
+    live_scratch: Vec<(usize, SlotMeta)>,
     /// Cached wear spread keyed by `(total erases, retired segments)`:
     /// the per-tick wear-leveling check only rescans after an erase.
     wear_spread: Option<(u64, usize, (u64, u64))>,
@@ -147,6 +155,8 @@ impl StorageManager {
             open_write: None,
             open_cold: None,
             pending_tombstones: Vec::new(),
+            flush_scratch: Vec::new(),
+            live_scratch: Vec::new(),
             crashed: false,
             crash_buffered: Vec::new(),
             crash_pending_tombs: Vec::new(),
@@ -154,7 +164,7 @@ impl StorageManager {
                 active: 0,
                 valid: false,
                 pages: 0,
-                dirtied: BTreeSet::new(),
+                dirtied: vec![false; num_segments],
                 last: now,
                 disabled: false,
             },
@@ -323,6 +333,7 @@ impl StorageManager {
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the page size.
+    // lint: hot-path
     pub fn write_page(&mut self, page: PageId, data: &[u8]) -> Result<()> {
         assert_eq!(
             data.len() as u64,
@@ -387,6 +398,7 @@ impl StorageManager {
     /// # Panics
     ///
     /// Panics if `buf.len()` differs from the page size.
+    // lint: hot-path
     pub fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<()> {
         assert_eq!(
             buf.len() as u64,
@@ -424,6 +436,7 @@ impl StorageManager {
     /// # Panics
     ///
     /// Panics if the range crosses the page boundary.
+    // lint: hot-path
     pub fn read_page_slice(&mut self, page: PageId, offset: u64, buf: &mut [u8]) -> Result<()> {
         assert!(
             offset + buf.len() as u64 <= self.cfg.page_size,
@@ -459,6 +472,7 @@ impl StorageManager {
     /// # Errors
     ///
     /// [`StorageError::Crashed`] after an unrecovered battery death.
+    // lint: hot-path
     pub fn free_page(&mut self, page: PageId) -> Result<()> {
         self.check_alive()?;
         match self.map.remove(page) {
@@ -495,10 +509,15 @@ impl StorageManager {
     /// # Errors
     ///
     /// Propagates flush failures (no space, device errors).
+    // lint: hot-path
     pub fn sync(&mut self) -> Result<()> {
         self.check_alive()?;
-        let pages = self.buffer.pages();
-        self.flush_pages(&pages)?;
+        let mut pages = core::mem::take(&mut self.flush_scratch);
+        self.buffer.pages_into(&mut pages);
+        let flushed = self.flush_pages(&pages);
+        pages.clear();
+        self.flush_scratch = pages;
+        flushed?;
         self.flush_tombstones()?;
         self.update_gauges();
         Ok(())
@@ -510,6 +529,7 @@ impl StorageManager {
     /// # Errors
     ///
     /// Propagates flush/GC failures.
+    // lint: hot-path
     pub fn tick(&mut self) -> Result<()> {
         self.check_alive()?;
         let now = self.now();
@@ -519,12 +539,17 @@ impl StorageManager {
         let cutoff_ns = now
             .as_nanos()
             .saturating_sub(self.cfg.flush.age_limit.as_nanos());
-        let cold = self
-            .buffer
-            .colder_than(SimTime::from_nanos(cutoff_ns), usize::MAX);
-        if !cold.is_empty() {
-            self.flush_pages(&cold)?;
-        }
+        let mut cold = core::mem::take(&mut self.flush_scratch);
+        self.buffer
+            .colder_than_into(SimTime::from_nanos(cutoff_ns), usize::MAX, &mut cold);
+        let flushed = if cold.is_empty() {
+            Ok(())
+        } else {
+            self.flush_pages(&cold)
+        };
+        cold.clear();
+        self.flush_scratch = cold;
+        flushed?;
         if self.cfg.placement == Placement::LogStructured {
             let free = self.table.free_count() + self.table.pending_erases();
             if free < self.cfg.gc_trigger_segments {
@@ -548,15 +573,22 @@ impl StorageManager {
 
     /// Ensures at least one free buffer frame, flushing the coldest batch
     /// if necessary.
+    // lint: hot-path
     fn make_room(&mut self) -> Result<()> {
         if !self.buffer.is_full() {
             return Ok(());
         }
-        let victims = self.buffer.coldest_k(self.cfg.flush.batch.max(1));
-        self.flush_pages(&victims)
+        let mut victims = core::mem::take(&mut self.flush_scratch);
+        self.buffer
+            .coldest_k_into(self.cfg.flush.batch.max(1), &mut victims);
+        let flushed = self.flush_pages(&victims);
+        victims.clear();
+        self.flush_scratch = victims;
+        flushed
     }
 
     /// Applies the high/low watermark policy after an insert.
+    // lint: hot-path
     fn maybe_watermark_flush(&mut self) -> Result<()> {
         if self.buffer.fill_fraction() <= self.cfg.flush.high_watermark {
             return Ok(());
@@ -564,14 +596,19 @@ impl StorageManager {
         let target = (self.cfg.flush.low_watermark * self.buffer.capacity() as f64) as usize;
         let excess = self.buffer.len().saturating_sub(target);
         if excess > 0 {
-            let victims = self.buffer.coldest_k(excess);
-            self.flush_pages(&victims)?;
+            let mut victims = core::mem::take(&mut self.flush_scratch);
+            self.buffer.coldest_k_into(excess, &mut victims);
+            let flushed = self.flush_pages(&victims);
+            victims.clear();
+            self.flush_scratch = victims;
+            flushed?;
         }
         Ok(())
     }
 
     /// Writes the given buffered pages back to flash and releases their
     /// frames.
+    // lint: hot-path
     fn flush_pages(&mut self, pages: &[PageId]) -> Result<()> {
         let start = self.now();
         let e0 = self.span_energy_mark();
@@ -608,6 +645,7 @@ impl StorageManager {
 
     /// Places one page's bytes on flash (log append or in-place RMW) and
     /// updates the map.
+    // lint: hot-path
     fn flush_data_to_flash(
         &mut self,
         page: PageId,
@@ -619,7 +657,7 @@ impl StorageManager {
                 let seq = self.map.next_seq();
                 let (seg, addr) = self.append_slot(SegClass::Write, SlotMeta { page, seq })?;
                 self.flash.program_async(addr, data)?;
-                self.ckpt.dirtied.insert(seg);
+                self.ckpt.dirtied[seg] = true;
                 self.map.set(page, Location::Flash(addr));
                 Ok(())
             }
@@ -699,6 +737,7 @@ impl StorageManager {
     /// Picks a free segment for `class`: least-worn among allowed banks,
     /// falling back to any free segment rather than failing. Iterates the
     /// table directly — no candidate list is materialised.
+    // lint: hot-path
     fn alloc_segment(&self, class: SegClass) -> Option<usize> {
         self.table
             .segments_in(SegState::Free)
@@ -734,6 +773,7 @@ impl StorageManager {
 
     /// Returns an open segment for `class` with at least one free slot,
     /// allocating / garbage-collecting / waiting for erases as needed.
+    // lint: hot-path
     fn ensure_open(&mut self, class: SegClass, allow_gc: bool) -> Result<usize> {
         for _ in 0..self.table.len() * 2 + 4 {
             if let Some(seg) = self.open_slot_of(class) {
@@ -790,6 +830,7 @@ impl StorageManager {
     /// Runs garbage collection until the free-segment target is met or no
     /// further progress is possible. Returns whether anything was
     /// reclaimed.
+    // lint: hot-path
     fn collect_garbage(&mut self) -> Result<bool> {
         let start = self.now();
         let e0 = self.span_energy_mark();
@@ -808,9 +849,11 @@ impl StorageManager {
             };
             // Never clean the open heads (they are not Closed, so
             // pick_victim cannot return them by construction).
-            let live = self.table.seg(victim).live_slots();
+            let mut live = core::mem::take(&mut self.live_scratch);
+            live.clear();
+            self.table.seg(victim).live_slots_into(&mut live);
             let mut moved = false;
-            for (slot, meta) in live {
+            for &(slot, meta) in &live {
                 let old_addr = self.table.slot_addr(victim, slot);
                 self.flash.read(old_addr, &mut data)?;
                 // GC survivors are cold by definition: they go to the cold
@@ -819,13 +862,15 @@ impl StorageManager {
                 let new_slot = self.table.append(seg, meta, self.now());
                 let new_addr = self.table.slot_addr(seg, new_slot);
                 self.flash.program_async(new_addr, &data)?;
-                self.ckpt.dirtied.insert(seg);
+                self.ckpt.dirtied[seg] = true;
                 self.table.kill_at(old_addr);
                 self.map.set(meta.page, Location::Flash(new_addr));
                 self.metrics.gc_flash_pages += 1;
                 moved = true;
             }
             let _ = moved;
+            live.clear();
+            self.live_scratch = live;
             self.retire_or_erase(victim)?;
             self.metrics.gc_runs += 1;
             progressed = true;
@@ -848,18 +893,19 @@ impl StorageManager {
     }
 
     /// Erases a drained victim segment, or retires it if the block has
-    /// worn out. Carried tombstones are re-queued.
+    /// worn out. Carried tombstones are re-queued directly onto the
+    /// pending list — no intermediate batch.
+    // lint: hot-path
     fn retire_or_erase(&mut self, victim: usize) -> Result<()> {
         let block = self.flash.block_of(self.table.block_addr(victim));
         match self.flash.erase_async(block) {
             Ok(done) => {
-                let carried = self.table.begin_erase(victim, done);
-                self.pending_tombstones.extend(carried);
+                self.table
+                    .begin_erase_into(victim, done, &mut self.pending_tombstones);
                 Ok(())
             }
             Err(DeviceError::WornOut { .. }) | Err(DeviceError::BadBlock { .. }) => {
-                let carried = self.table.retire(victim);
-                self.pending_tombstones.extend(carried);
+                self.table.retire_into(victim, &mut self.pending_tombstones);
                 Ok(())
             }
             Err(e) => Err(e.into()),
@@ -910,10 +956,12 @@ impl StorageManager {
         if max - min <= threshold {
             return Ok(());
         }
-        let exclude: Vec<usize> = [self.open_write, self.open_cold]
-            .into_iter()
-            .flatten()
-            .collect();
+        // `usize::MAX` is never a valid segment index, so closed heads
+        // encode as impossible values instead of a built candidate list.
+        let exclude = [
+            self.open_write.unwrap_or(usize::MAX),
+            self.open_cold.unwrap_or(usize::MAX),
+        ];
         let Some(victim) = pick_coldest(&self.table, &exclude) else {
             return Ok(());
         };
@@ -935,17 +983,22 @@ impl StorageManager {
         let moved0 = self.metrics.gc_flash_pages;
         self.table.open(dest);
         let mut data = self.pool.take();
-        for (slot, meta) in self.table.seg(victim).live_slots() {
+        let mut live = core::mem::take(&mut self.live_scratch);
+        live.clear();
+        self.table.seg(victim).live_slots_into(&mut live);
+        for &(slot, meta) in &live {
             let old_addr = self.table.slot_addr(victim, slot);
             self.flash.read(old_addr, &mut data)?;
             let new_slot = self.table.append(dest, meta, self.now());
             let new_addr = self.table.slot_addr(dest, new_slot);
             self.flash.program_async(new_addr, &data)?;
-            self.ckpt.dirtied.insert(dest);
+            self.ckpt.dirtied[dest] = true;
             self.table.kill_at(old_addr);
             self.map.set(meta.page, Location::Flash(new_addr));
             self.metrics.gc_flash_pages += 1;
         }
+        live.clear();
+        self.live_scratch = live;
         self.table.close(dest);
         self.pool.put(data);
         self.retire_or_erase(victim)?;
@@ -982,6 +1035,7 @@ impl StorageManager {
     }
 
     /// Writes all pending tombstones into tombstone slots.
+    // lint: hot-path
     fn flush_tombstones(&mut self) -> Result<()> {
         if self.cfg.placement != Placement::LogStructured {
             self.pending_tombstones.clear();
@@ -989,16 +1043,29 @@ impl StorageManager {
         }
         let per_slot = self.tombstones_per_slot();
         while !self.pending_tombstones.is_empty() {
+            // The batch is drained before ensure_open: GC under it can
+            // append carried tombstones to `pending_tombstones`, and
+            // those must go into *later* batches. If no segment can be
+            // opened, the drained batch is lost with the failed flush;
+            // the manager is out of space and the error is terminal for
+            // the operation that triggered the flush.
             let take = per_slot.min(self.pending_tombstones.len());
-            let batch: Vec<(PageId, u64)> = self.pending_tombstones.drain(..take).collect();
-            let seg = self.ensure_open(SegClass::Write, true)?;
-            let slot = self.table.append_tomb(seg, batch, self.now());
+            let batch = self.table.tomb_batch(&mut self.pending_tombstones, take);
+            let seg = match self.ensure_open(SegClass::Write, true) {
+                Ok(seg) => seg,
+                Err(e) => {
+                    self.table.recycle_tomb_batch(batch);
+                    return Err(e);
+                }
+            };
+            let now = self.now();
+            let slot = self.table.append_tomb(seg, batch, now);
             let addr = self.table.slot_addr(seg, slot);
             // Tombstone slots are real programs: zeroed payload of records.
             let data = self.pool.take_zeroed();
             self.flash.program_async(addr, &data)?;
             self.pool.put(data);
-            self.ckpt.dirtied.insert(seg);
+            self.ckpt.dirtied[seg] = true;
             self.metrics.summary_flash_pages += 1;
         }
         Ok(())
@@ -1044,7 +1111,7 @@ impl StorageManager {
         self.ckpt.active = target;
         self.ckpt.valid = true;
         self.ckpt.pages = pages;
-        self.ckpt.dirtied.clear();
+        self.ckpt.dirtied.fill(false);
         self.ckpt.last = self.now();
         self.recorder.emit(|| Span {
             kind: EventKind::StorageCheckpoint,
@@ -1112,8 +1179,12 @@ impl StorageManager {
                         self.flash.read(base + i * self.cfg.page_size, &mut page)?;
                     }
                     self.pool.put(page);
-                    let dirtied: Vec<usize> = self.ckpt.dirtied.iter().copied().collect();
-                    for seg in dirtied {
+                    // Ascending scan over the bitmap: the same order the
+                    // old sorted-set iteration charged reads in.
+                    for seg in 0..self.table.len() {
+                        if !self.ckpt.dirtied.get(seg).copied().unwrap_or(false) {
+                            continue;
+                        }
                         let n = self.table.seg(seg).next_slot;
                         for slot in 0..n {
                             let addr = self.table.slot_addr(seg, slot);

@@ -104,16 +104,24 @@ impl Segment {
         }
     }
 
-    /// Live slot metas, with their slot indices.
+    /// Appends the live slot metas (with their slot indices) to `out`.
+    /// The GC copy loop calls this once per victim with a recycled
+    /// scratch vector, so cleaning allocates nothing in steady state.
+    // lint: hot-path
+    pub fn live_slots_into(&self, out: &mut Vec<(usize, SlotMeta)>) {
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Slot::Live(m) = s {
+                out.push((i, *m));
+            }
+        }
+    }
+
+    /// Live slot metas, with their slot indices (allocating convenience
+    /// wrapper over [`Segment::live_slots_into`]).
     pub fn live_slots(&self) -> Vec<(usize, SlotMeta)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| match s {
-                Slot::Live(m) => Some((i, *m)),
-                _ => None,
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.live_slots_into(&mut out);
+        out
     }
 }
 
@@ -137,6 +145,12 @@ pub struct SegmentTable {
     /// Retired segments, maintained by [`SegmentTable::retire`]; part of
     /// the wear-spread cache key in the manager.
     retired_count: usize,
+    /// Recycled backing stores for tombstone slots. A `Slot::Tomb` owns a
+    /// `Vec` of deletion records; when its segment is erased and reaped,
+    /// the vector returns here with its capacity intact so the next
+    /// tombstone flush needs no allocation. Bounded by the maximum number
+    /// of tombstone slots ever simultaneously on flash.
+    tomb_pool: Vec<Vec<(PageId, u64)>>,
 }
 
 impl SegmentTable {
@@ -164,6 +178,7 @@ impl SegmentTable {
             dead_copies: DenseIndex::new(crate::map::DEFAULT_DENSE_PAGES),
             free_count: count,
             retired_count: 0,
+            tomb_pool: Vec::new(),
         }
     }
 
@@ -323,12 +338,39 @@ impl SegmentTable {
         slot
     }
 
+    /// Drains the first `take` records of `pending` into a batch whose
+    /// backing store comes from the reuse pool, so a steady-state
+    /// tombstone flush performs no allocation once the pool is warm.
+    /// Hand the batch to [`SegmentTable::append_tomb`], or return it via
+    /// [`SegmentTable::recycle_tomb_batch`] if no segment can be opened.
+    // lint: hot-path
+    pub fn tomb_batch(
+        &mut self,
+        pending: &mut Vec<(PageId, u64)>,
+        take: usize,
+    ) -> Vec<(PageId, u64)> {
+        let mut batch = self.tomb_pool.pop().unwrap_or_default();
+        batch.clear();
+        batch.extend(pending.drain(..take));
+        batch
+    }
+
+    /// Returns an unused batch's backing store to the reuse pool. Its
+    /// entries are discarded, not re-queued: a batch that found no open
+    /// segment is lost with the failed flush.
+    // lint: hot-path
+    pub fn recycle_tomb_batch(&mut self, mut batch: Vec<(PageId, u64)>) {
+        batch.clear();
+        self.tomb_pool.push(batch);
+    }
+
     /// Appends a tombstone slot carrying deletion `entries`, returning the
     /// slot index used. Tombstone slots never count as live.
     ///
     /// # Panics
     ///
     /// Panics if the segment is not open or is full.
+    // lint: hot-path
     pub fn append_tomb(&mut self, seg: usize, entries: Vec<(PageId, u64)>, now: SimTime) -> usize {
         let s = &mut self.segments[seg];
         assert_eq!(s.state, SegState::Open, "append to non-open segment");
@@ -378,10 +420,11 @@ impl SegmentTable {
     }
 
     /// Common bookkeeping for removing a closed, fully dead segment from
-    /// circulation: forgets its stale copies and returns the tombstones
-    /// that must be re-logged because stale copies of their pages still
-    /// exist elsewhere.
-    fn release_metadata(&mut self, seg: usize) -> Vec<(PageId, u64)> {
+    /// circulation: forgets its stale copies and appends to `carried` the
+    /// tombstones that must be re-logged because stale copies of their
+    /// pages still exist elsewhere.
+    // lint: hot-path
+    fn release_metadata_into(&mut self, seg: usize, carried: &mut Vec<(PageId, u64)>) {
         assert_eq!(
             self.segments[seg].state,
             SegState::Closed,
@@ -391,15 +434,14 @@ impl SegmentTable {
             self.segments[seg].live, 0,
             "release of segment with live pages"
         );
-        let dead_pages: Vec<PageId> = self.segments[seg]
-            .slots
-            .iter()
-            .filter_map(|s| match s {
-                Slot::Dead(m) => Some(m.page),
-                _ => None,
-            })
-            .collect();
-        for page in dead_pages {
+        // Dead-copy accounting by index: `dead_copies` and `segments` are
+        // both fields of self, so iterating one while mutating the other
+        // needs the loop split rather than an intermediate list.
+        for i in 0..self.segments[seg].slots.len() {
+            let page = match &self.segments[seg].slots[i] {
+                Slot::Dead(m) => m.page,
+                _ => continue,
+            };
             if let Some(n) = self.dead_copies.get(page) {
                 if n <= 1 {
                     self.dead_copies.remove(page);
@@ -408,55 +450,89 @@ impl SegmentTable {
                 }
             }
         }
-        let tombs: Vec<(PageId, u64)> = core::mem::take(&mut self.segments[seg].tombstones);
-        tombs
-            .into_iter()
-            .filter(|(p, _)| self.dead_copies.get(*p).is_some_and(|n| n > 0))
-            .collect()
+        let mut tombs = core::mem::take(&mut self.segments[seg].tombstones);
+        carried.extend(
+            tombs
+                .drain(..)
+                .filter(|(p, _)| self.dead_copies.get(*p).is_some_and(|n| n > 0)),
+        );
+        // Hand the (drained) vector back so its capacity is reused the
+        // next time this segment accumulates tombstones.
+        self.segments[seg].tombstones = tombs;
     }
 
     /// Begins erasing a closed segment; it becomes usable again once
-    /// [`SegmentTable::reap_erased`] is called past `completes`. Returns
-    /// tombstones to carry forward.
-    pub fn begin_erase(&mut self, seg: usize, completes: SimTime) -> Vec<(PageId, u64)> {
-        let carried = self.release_metadata(seg);
+    /// [`SegmentTable::reap_erased`] is called past `completes`.
+    /// Tombstones to carry forward are appended to `carried`.
+    // lint: hot-path
+    pub fn begin_erase_into(
+        &mut self,
+        seg: usize,
+        completes: SimTime,
+        carried: &mut Vec<(PageId, u64)>,
+    ) {
+        self.release_metadata_into(seg, carried);
         self.segments[seg].state = SegState::ErasePending;
         self.pending_erase.push((completes, seg));
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`SegmentTable::begin_erase_into`].
+    pub fn begin_erase(&mut self, seg: usize, completes: SimTime) -> Vec<(PageId, u64)> {
+        let mut carried = Vec::new();
+        self.begin_erase_into(seg, completes, &mut carried);
         carried
     }
 
-    /// Permanently retires a worn-out closed segment. Returns tombstones
-    /// to carry forward.
-    pub fn retire(&mut self, seg: usize) -> Vec<(PageId, u64)> {
-        let carried = self.release_metadata(seg);
+    /// Permanently retires a worn-out closed segment. Tombstones to carry
+    /// forward are appended to `carried`.
+    pub fn retire_into(&mut self, seg: usize, carried: &mut Vec<(PageId, u64)>) {
+        self.release_metadata_into(seg, carried);
         self.segments[seg].state = SegState::Retired;
         self.retired_count += 1;
+    }
+
+    /// Allocating convenience wrapper over [`SegmentTable::retire_into`].
+    pub fn retire(&mut self, seg: usize) -> Vec<(PageId, u64)> {
+        let mut carried = Vec::new();
+        self.retire_into(seg, &mut carried);
         carried
     }
 
     /// Moves segments whose erase has completed by `now` back to the free
-    /// state, returning their indices.
-    pub fn reap_erased(&mut self, now: SimTime) -> Vec<usize> {
-        let mut done = Vec::new();
-        self.pending_erase.retain(|&(at, seg)| {
-            if at <= now {
-                done.push(seg);
-                false
-            } else {
-                true
+    /// state, returning how many were reaped. Runs on every tick and on
+    /// every segment allocation, so it must not build a result list; the
+    /// in-flight set is unordered (completions are reaped by deadline, not
+    /// position), which makes the `swap_remove` compaction safe.
+    // lint: hot-path
+    pub fn reap_erased(&mut self, now: SimTime) -> usize {
+        let mut reaped = 0;
+        let mut i = 0;
+        while i < self.pending_erase.len() {
+            let (at, seg) = self.pending_erase[i];
+            if at > now {
+                i += 1;
+                continue;
             }
-        });
-        for &seg in &done {
+            self.pending_erase.swap_remove(i);
             let s = &mut self.segments[seg];
             s.state = SegState::Free;
             s.next_slot = 0;
             s.live = 0;
             for slot in &mut s.slots {
+                // Recycle tombstone backing stores instead of dropping
+                // them: tomb_batch draws from the pool.
+                if let Slot::Tomb(v) = slot {
+                    let mut v = core::mem::take(v);
+                    v.clear();
+                    self.tomb_pool.push(v);
+                }
                 *slot = Slot::Empty;
             }
+            self.free_count += 1;
+            reaped += 1;
         }
-        self.free_count += done.len();
-        done
+        reaped
     }
 
     /// Rebuilds liveness from the on-flash headers after a battery death.
@@ -666,8 +742,8 @@ mod tests {
         let carried = tb.begin_erase(0, t(5));
         assert!(carried.is_empty());
         assert_eq!(tb.pending_erases(), 1);
-        assert!(tb.reap_erased(t(4)).is_empty());
-        assert_eq!(tb.reap_erased(t(5)), vec![0]);
+        assert_eq!(tb.reap_erased(t(4)), 0);
+        assert_eq!(tb.reap_erased(t(5)), 1);
         assert_eq!(tb.seg(0).state, SegState::Free);
         assert!(!tb.has_dead_copies(1));
     }

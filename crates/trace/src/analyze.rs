@@ -9,7 +9,7 @@
 
 use crate::record::{FileOp, Trace};
 use ssmc_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Characterization of one trace.
 #[derive(Debug, Clone)]
@@ -40,7 +40,7 @@ impl TraceAnalysis {
         let mut write_sizes: Vec<u64> = Vec::new();
         // Byte-lifetime accounting: every written byte belongs to its
         // file; deletion stamps the death time of all its bytes.
-        let mut file_bytes: HashMap<u64, Vec<(SimTime, u64)>> = HashMap::new();
+        let mut file_bytes: BTreeMap<u64, Vec<(SimTime, u64)>> = BTreeMap::new();
         let mut lifetimes: Vec<(SimDuration, u64)> = Vec::new();
         let mut total_bytes = 0u64;
         for r in &trace.records {

@@ -22,6 +22,8 @@
 //! [`replay::TraceTarget`] — both the solid-state and the disk-based
 //! organisations — and reports per-operation latency statistics.
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod generator;
 pub mod io;

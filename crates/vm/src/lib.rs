@@ -21,6 +21,8 @@
 //! residency, and charge the device costs of every fault, copy, fetch,
 //! and swap.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod page_table;
 pub mod space;

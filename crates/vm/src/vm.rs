@@ -667,6 +667,7 @@ impl Vm {
     /// [`VmError::SegFault`] / [`VmError::Protection`] for bad accesses,
     /// [`VmError::OutOfMemory`] when frames run out with paging disabled,
     /// and storage errors from fault service.
+    // lint: hot-path
     pub fn touch(
         &mut self,
         asid: u32,

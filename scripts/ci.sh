@@ -4,14 +4,27 @@
 # crates. Run from the repository root.
 set -eu
 
-cargo build --release --offline
-cargo test -q --offline
+# One warnings-as-errors build: the tree must be warning-clean, not
+# just compile.
+RUSTFLAGS="-D warnings" cargo build --release --offline
+cargo test -q --offline --workspace
+
+# Invariant linter: determinism, hermeticity, and hot-path rules over
+# the whole workspace (see DESIGN.md §Static analysis), plus its
+# fixture corpus, which pins every rule's positive and negative case.
+cargo run --release --offline -p ssmc-lint -- --workspace
+cargo test -q --offline -p ssmc-lint
+
 cargo run --release --offline -p ssmc-bench --bin experiments -- f2
 
 # Bench smoke: the macrobenchmark harness must run end to end (short
 # windows, no baselines asserted) — with the no-op recorder, so this is
 # also the disabled-cost path of the observability layer.
 cargo bench -p ssmc-bench --bench simulator --offline -- --smoke
+
+# Allocation sentinel: a steady-state replay window must perform zero
+# heap allocations per op (the dynamic half of the lint's H1 rule).
+cargo bench -p ssmc-bench --bench simulator --offline -- --alloc-guard --smoke
 
 # Observability smoke: a traced replay must produce a decodable artifact
 # and trace-dump must render it. Uses a temp path — trace artifacts

@@ -33,6 +33,8 @@
 //! assert_eq!(&buf, b"flash is the new disk");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ssmc_baseline as baseline;
 pub use ssmc_core as core;
 pub use ssmc_device as device;
