@@ -11,7 +11,7 @@
 //! for the experiments is the timing, seek pattern, energy, and cache
 //! behaviour of every operation.
 
-use crate::cache::BufferCache;
+use crate::cache::{BufferCache, CachePolicy};
 use crate::elevator::cscan_order;
 use crate::power::DiskPowerManager;
 use core::fmt;
@@ -46,6 +46,9 @@ pub struct BaselineConfig {
     pub cylinder_groups: u32,
     /// Write structural metadata synchronously (classic FFS behaviour).
     pub sync_metadata: bool,
+    /// Buffer-cache replacement policy (plain LRU by default; LRU-K so
+    /// the comparator isn't a strawman under scan-heavy traffic).
+    pub cache_policy: CachePolicy,
 }
 
 impl Default for BaselineConfig {
@@ -59,6 +62,7 @@ impl Default for BaselineConfig {
             spin_down: Some(SimDuration::from_secs(5)),
             cylinder_groups: 8,
             sync_metadata: true,
+            cache_policy: CachePolicy::Lru,
         }
     }
 }
@@ -144,11 +148,12 @@ impl DiskFs {
         let blocks_per_group = (data_blocks / cfg.cylinder_groups as u64).max(1);
         let cache_blocks = (cfg.cache_bytes / cfg.block_size).max(1) as usize;
         DiskFs {
-            cache: BufferCache::new(
+            cache: BufferCache::with_policy(
                 cache_blocks,
                 cfg.block_size,
                 cfg.cache_dram.clone(),
                 clock.clone(),
+                cfg.cache_policy,
             ),
             pm: DiskPowerManager::new(cfg.spin_down, clock.now()),
             inodes: BTreeMap::new(),
@@ -188,6 +193,12 @@ impl DiskFs {
         reg.counter("ffs.meta_sync_writes", self.stats.meta_sync_writes);
         reg.counter("ffs.sync_passes", self.stats.sync_passes);
         reg.counter("ffs.sync_blocks", self.stats.sync_blocks);
+        let cs = self.cache.stats();
+        reg.counter("cache.hits", cs.hits);
+        reg.counter("cache.misses", cs.misses);
+        reg.counter("cache.write_backs", cs.write_backs);
+        reg.counter("cache.write_cancels", cs.write_cancels);
+        reg.gauge("cache.hit_rate", cs.hit_rate());
         self.disk.publish_metrics(reg);
         for (component, e) in self.cache.dram().energy().iter() {
             reg.counter(&format!("energy.cache_{component}_nj"), e.as_nanojoules());
@@ -572,6 +583,46 @@ impl DiskFs {
         Ok(())
     }
 
+    /// Reads the file's attributes: an inode-block read through the
+    /// cache (the disk spins up if the block is cold).
+    ///
+    /// # Errors
+    ///
+    /// [`FfsError::UnknownFile`].
+    pub fn stat(&mut self, file: u64) -> Result<(), FfsError> {
+        self.sync_check();
+        let ino = *self.files.get(&file).ok_or(FfsError::UnknownFile(file))?;
+        let iblock = self.inode_block_of(ino);
+        self.cache_read(iblock);
+        Ok(())
+    }
+
+    /// Renames trace id `file` to `to`: a directory-entry rewrite plus
+    /// the inode's ctime update — structural metadata, so classic FFS
+    /// writes it synchronously.
+    ///
+    /// # Errors
+    ///
+    /// [`FfsError::UnknownFile`] / [`FfsError::Exists`].
+    pub fn rename(&mut self, file: u64, to: u64) -> Result<(), FfsError> {
+        self.sync_check();
+        if self.files.contains_key(&to) {
+            return Err(FfsError::Exists(to));
+        }
+        let ino = self
+            .files
+            .remove(&file)
+            .ok_or(FfsError::UnknownFile(file))?;
+        self.files.insert(to, ino);
+        let mut metas: BTreeSet<u64> = BTreeSet::new();
+        metas.insert(self.dir_block_of_slot(ino));
+        metas.insert(self.inode_block_of(ino));
+        for m in metas {
+            self.meta_write(m);
+        }
+        Ok(())
+    }
+
     /// Live file count.
     pub fn file_count(&self) -> usize {
         self.files.len()
@@ -591,6 +642,8 @@ impl TraceTarget for DiskFs {
             FileOp::Read { file, offset, len } => self.read(file, offset, len)?,
             FileOp::Delete { file } => self.delete(file)?,
             FileOp::Truncate { file, len } => self.truncate(file, len)?,
+            FileOp::Stat { file } => self.stat(file)?,
+            FileOp::Rename { file, to } => self.rename(file, to)?,
             FileOp::Sync => self.flush_all(),
         }
         Ok(())

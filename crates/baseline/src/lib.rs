@@ -21,8 +21,10 @@
 pub mod cache;
 pub mod elevator;
 pub mod ffs;
+pub mod lru_k;
 pub mod power;
 
-pub use cache::BufferCache;
+pub use cache::{BufferCache, CachePolicy};
 pub use ffs::{BaselineConfig, DiskFs, FfsError};
+pub use lru_k::LruKReplacer;
 pub use power::DiskPowerManager;

@@ -1,0 +1,281 @@
+//! LRU-K block replacement for the conventional baseline.
+//!
+//! Plain LRU makes the disk-based comparator a strawman under scan-heavy
+//! or loop-heavy traffic: one sequential sweep flushes the whole working
+//! set. LRU-K (O'Neil et al.) evicts by *backward K-distance* — the time
+//! since the K-th most recent access — so a block must prove reuse K
+//! times before it outranks the probationary pool.
+//!
+//! Determinism: every decision is a function of SimTime access stamps and
+//! block numbers. Blocks with fewer than K accesses have infinite
+//! K-distance and are evicted first, FIFO by first access; blocks with K
+//! or more are ordered by their K-th most recent access. Both orders are
+//! kept in `BTreeSet`s keyed `(SimTime, block)`, so ties break by block
+//! number and the same access sequence always evicts the same victim —
+//! across runs and across `--threads` (nothing reads the wall clock or
+//! iterates a hash map).
+
+use ssmc_sim::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default history depth: LRU-2, the classic choice.
+pub const DEFAULT_K: u32 = 2;
+
+/// Most access stamps retained per block (bounds memory; `k` is clamped
+/// to this).
+const HIST_MAX: usize = 4;
+
+/// Per-block access history, most recent first.
+#[derive(Debug, Clone, Copy)]
+struct History {
+    times: [SimTime; HIST_MAX],
+    len: u8,
+}
+
+impl History {
+    fn first_access(&self) -> SimTime {
+        self.times[self.len as usize - 1]
+    }
+}
+
+/// A deterministic LRU-K replacer over block numbers.
+///
+/// # Examples
+///
+/// ```
+/// use ssmc_baseline::lru_k::LruKReplacer;
+/// use ssmc_sim::{SimDuration, SimTime};
+///
+/// let mut r = LruKReplacer::new(2);
+/// let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+/// r.record_access(1, t(0));
+/// r.record_access(1, t(1)); // block 1 has two accesses: finite K-distance
+/// r.record_access(2, t(2)); // block 2 has one: infinite K-distance
+/// assert_eq!(r.evict(), Some(2), "single-access block goes first");
+/// ```
+#[derive(Debug)]
+pub struct LruKReplacer {
+    k: usize,
+    entries: BTreeMap<u64, History>,
+    /// Blocks with fewer than `k` recorded accesses (infinite backward
+    /// K-distance), keyed by first access: evicted before any warm
+    /// block, oldest arrival first.
+    cold: BTreeSet<(SimTime, u64)>,
+    /// Blocks with at least `k` accesses, keyed by the K-th most recent
+    /// access: the smallest key has the largest backward K-distance.
+    warm: BTreeSet<(SimTime, u64)>,
+}
+
+impl LruKReplacer {
+    /// A replacer with history depth `k` (clamped to `1..=4`).
+    pub fn new(k: u32) -> Self {
+        LruKReplacer {
+            k: (k as usize).clamp(1, HIST_MAX),
+            entries: BTreeMap::new(),
+            cold: BTreeSet::new(),
+            warm: BTreeSet::new(),
+        }
+    }
+
+    /// The history depth in force.
+    pub fn k(&self) -> u32 {
+        self.k as u32
+    }
+
+    /// Tracked blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no blocks are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `block` is tracked.
+    pub fn contains(&self, block: u64) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    fn order_key(&self, block: u64, h: &History) -> ((SimTime, u64), bool) {
+        if h.len as usize >= self.k {
+            ((h.times[self.k - 1], block), true)
+        } else {
+            ((h.first_access(), block), false)
+        }
+    }
+
+    fn unlink(&mut self, block: u64, h: &History) {
+        let (key, warm) = self.order_key(block, h);
+        if warm {
+            self.warm.remove(&key);
+        } else {
+            self.cold.remove(&key);
+        }
+    }
+
+    fn link(&mut self, block: u64, h: &History) {
+        let (key, warm) = self.order_key(block, h);
+        if warm {
+            self.warm.insert(key);
+        } else {
+            self.cold.insert(key);
+        }
+    }
+
+    /// Records an access to `block` at simulated time `now` (tracking it
+    /// if new).
+    pub fn record_access(&mut self, block: u64, now: SimTime) {
+        let updated = match self.entries.get(&block) {
+            Some(&h) => {
+                self.unlink(block, &h);
+                let mut h = h;
+                let keep = (h.len as usize).min(HIST_MAX - 1);
+                h.times.copy_within(0..keep, 1);
+                h.times[0] = now;
+                h.len = (keep + 1) as u8;
+                h
+            }
+            None => {
+                let mut h = History {
+                    times: [SimTime::ZERO; HIST_MAX],
+                    len: 1,
+                };
+                h.times[0] = now;
+                h
+            }
+        };
+        self.entries.insert(block, updated);
+        self.link(block, &updated);
+    }
+
+    /// Removes and returns the eviction victim: the largest backward
+    /// K-distance, i.e. any cold block (oldest first access first) before
+    /// the warm block with the oldest K-th most recent access.
+    pub fn evict(&mut self) -> Option<u64> {
+        let block = match self.cold.iter().next() {
+            Some(&(_, b)) => b,
+            None => match self.warm.iter().next() {
+                Some(&(_, b)) => b,
+                None => return None,
+            },
+        };
+        self.remove(block);
+        Some(block)
+    }
+
+    /// Stops tracking `block` (discard or external eviction).
+    pub fn remove(&mut self, block: u64) {
+        if let Some(h) = self.entries.remove(&block) {
+            let (key, warm) = self.order_key(block, &h);
+            if warm {
+                self.warm.remove(&key);
+            } else {
+                self.cold.remove(&key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmc_sim::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn cold_blocks_evict_before_warm_fifo_by_first_access() {
+        let mut r = LruKReplacer::new(2);
+        r.record_access(10, t(0));
+        r.record_access(10, t(5)); // warm
+        r.record_access(20, t(1)); // cold, first access t1
+        r.record_access(30, t(2)); // cold, first access t2
+        assert_eq!(r.evict(), Some(20));
+        assert_eq!(r.evict(), Some(30));
+        assert_eq!(r.evict(), Some(10));
+        assert_eq!(r.evict(), None);
+    }
+
+    #[test]
+    fn warm_order_is_kth_most_recent_not_last_access() {
+        let mut r = LruKReplacer::new(2);
+        // Block 1: accesses at t0, t10 → 2nd most recent = t0.
+        r.record_access(1, t(0));
+        r.record_access(1, t(10));
+        // Block 2: accesses at t8, t9 → 2nd most recent = t8.
+        r.record_access(2, t(8));
+        r.record_access(2, t(9));
+        // Plain LRU would evict block 2 (last use t9 < t10); LRU-2 keeps
+        // it, because block 1's K-distance reaches further back.
+        assert_eq!(r.evict(), Some(1));
+        assert_eq!(r.evict(), Some(2));
+    }
+
+    #[test]
+    fn correlated_double_touch_does_not_grant_tenure_over_older_regulars() {
+        let mut r = LruKReplacer::new(2);
+        // A regular: touched at t0 and t1.
+        r.record_access(1, t(0));
+        r.record_access(1, t(1));
+        // A scan block touched twice in the same instant later.
+        r.record_access(9, t(50));
+        r.record_access(9, t(50));
+        // Both warm; the regular's 2nd-most-recent (t0) is older, so it
+        // goes first — but the scan block goes right after, long before
+        // it could displace a full working set re-touched after t50.
+        r.record_access(1, t(60));
+        r.record_access(1, t(61));
+        assert_eq!(r.evict(), Some(9));
+    }
+
+    #[test]
+    fn same_timestamp_ties_break_by_block_number() {
+        let mut r = LruKReplacer::new(2);
+        r.record_access(7, t(3));
+        r.record_access(5, t(3));
+        r.record_access(6, t(3));
+        assert_eq!(r.evict(), Some(5));
+        assert_eq!(r.evict(), Some(6));
+        assert_eq!(r.evict(), Some(7));
+    }
+
+    #[test]
+    fn k1_degenerates_to_lru() {
+        let mut r = LruKReplacer::new(1);
+        r.record_access(1, t(0));
+        r.record_access(2, t(1));
+        r.record_access(1, t(2));
+        assert_eq!(r.evict(), Some(2));
+        assert_eq!(r.evict(), Some(1));
+    }
+
+    #[test]
+    fn remove_untracks() {
+        let mut r = LruKReplacer::new(2);
+        r.record_access(1, t(0));
+        r.record_access(2, t(1));
+        r.remove(1);
+        assert!(!r.contains(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.evict(), Some(2));
+        r.remove(99); // no-op
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut r = LruKReplacer::new(4);
+        for i in 0..100 {
+            r.record_access(1, t(i));
+        }
+        // 4 stamps retained; the 4th most recent is t96.
+        r.record_access(2, t(96));
+        r.record_access(2, t(97));
+        r.record_access(2, t(98));
+        r.record_access(2, t(99));
+        // Tie at t96: block 1 < block 2.
+        assert_eq!(r.evict(), Some(1));
+    }
+}

@@ -16,6 +16,7 @@
 //! cargo bench -p ssmc-bench -- --smoke             # short CI mode
 //! cargo bench -p ssmc-bench -- --json BENCH_throughput.json
 //! cargo bench -p ssmc-bench -- --alloc-guard      # zero-alloc sentinel
+//! cargo bench -p ssmc-bench -- --check BENCH_throughput.json  # perf gate
 //! ```
 
 use ssmc_bench::alloc_sentinel::CountingAlloc;
@@ -23,7 +24,7 @@ use ssmc_core::{run_trace, MachineConfig, MobileComputer};
 use ssmc_baseline::{BaselineConfig, DiskFs};
 use ssmc_device::{BlockId, Dram, DramSpec, Flash, FlashSpec};
 use ssmc_memfs::{MemFs, WritePolicy};
-use ssmc_sim::report::ToReport;
+use ssmc_sim::report::{FromReport, ToReport};
 use ssmc_sim::{Clock, SimDuration, Table};
 use ssmc_storage::{StorageConfig, StorageManager};
 use ssmc_trace::{replay, FileId, FileOp, GeneratorConfig, TraceTarget, Workload};
@@ -359,21 +360,71 @@ fn throughput_machine() -> MobileComputer {
     MobileComputer::new(cfg)
 }
 
-/// End-to-end macrobenchmark: replays whole generated traces through the
-/// full stack (trace → fs → storage → devices) and reports host ops/sec
-/// and bytes/sec. With `--json PATH`, writes the table through the in-tree
-/// report module so the perf trajectory is diffable across PRs.
+/// The four macrobenchmark workloads, including the metadata-heavy
+/// mail-spool trace that stresses the directory index rather than the
+/// data path.
+const THROUGHPUT_WORKLOADS: [(Workload, &str); 4] = [
+    (Workload::Bsd, "bsd"),
+    (Workload::Office, "office"),
+    (Workload::Database, "database"),
+    (Workload::MailSpool, "mail-spool"),
+];
+
+/// One measured macrobenchmark row.
+struct ThroughputRow {
+    name: &'static str,
+    ops: u64,
+    data_bytes: u64,
+    ops_per_sec: f64,
+    mbps: f64,
+}
+
+/// Replays each workload through the full stack (trace → fs → storage →
+/// devices), best-of-`reps` on fresh machines: the fastest run is the
+/// one least disturbed by the host, which is the quantity we track.
+fn measure_throughput(ops: usize, reps: usize) -> Vec<ThroughputRow> {
+    THROUGHPUT_WORKLOADS
+        .iter()
+        .map(|&(workload, name)| {
+            let trace = GeneratorConfig::new(workload)
+                .with_ops(ops)
+                .with_max_live_bytes(4 << 20)
+                .generate();
+            let data_bytes: u64 = trace
+                .records
+                .iter()
+                .map(|r| match r.op {
+                    FileOp::Write { len, .. } | FileOp::Read { len, .. } => len,
+                    _ => 0,
+                })
+                .sum();
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let mut m = throughput_machine();
+                let start = Instant::now();
+                black_box(run_trace(&mut m, &trace));
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            ThroughputRow {
+                name,
+                ops: trace.records.len() as u64,
+                data_bytes,
+                ops_per_sec: trace.records.len() as f64 / best,
+                mbps: data_bytes as f64 / best / (1 << 20) as f64,
+            }
+        })
+        .collect()
+}
+
+/// End-to-end macrobenchmark: reports host ops/sec and bytes/sec. With
+/// `--json PATH`, writes the table through the in-tree report module so
+/// the perf trajectory is diffable across PRs.
 fn bench_throughput(filter: Option<String>, json: Option<std::path::PathBuf>) {
     if let Some(want) = &filter {
         if !"throughput".contains(want.as_str()) && json.is_none() {
             return;
         }
     }
-    let workloads = [
-        (Workload::Bsd, "bsd"),
-        (Workload::Office, "office"),
-        (Workload::Database, "database"),
-    ];
     let ops = if smoke() { 2_000 } else { 25_000 };
     let reps = if smoke() { 1 } else { 3 };
     let mut table = Table::new(
@@ -388,50 +439,27 @@ fn bench_throughput(filter: Option<String>, json: Option<std::path::PathBuf>) {
             "speedup",
         ],
     );
-    for (workload, name) in workloads {
-        let trace = GeneratorConfig::new(workload)
-            .with_ops(ops)
-            .with_max_live_bytes(4 << 20)
-            .generate();
-        let data_bytes: u64 = trace
-            .records
-            .iter()
-            .map(|r| match r.op {
-                FileOp::Write { len, .. } | FileOp::Read { len, .. } => len,
-                _ => 0,
-            })
-            .sum();
-        // Best-of-N replays on fresh machines: the fastest run is the one
-        // least disturbed by the host, which is the quantity we track.
-        let mut best = f64::INFINITY;
-        for _ in 0..reps {
-            let mut m = throughput_machine();
-            let start = Instant::now();
-            black_box(run_trace(&mut m, &trace));
-            best = best.min(start.elapsed().as_secs_f64());
-        }
-        let ops_per_sec = trace.records.len() as f64 / best;
-        let mbps = data_bytes as f64 / best / (1 << 20) as f64;
+    for row in measure_throughput(ops, reps) {
         let baseline = BASELINE_OPS_PER_SEC
             .iter()
-            .find(|(n, _)| *n == name)
+            .find(|(n, _)| *n == row.name)
             .map(|(_, v)| *v)
             .unwrap_or(0.0);
         let speedup = if baseline > 0.0 && !smoke() {
-            ops_per_sec / baseline
+            row.ops_per_sec / baseline
         } else {
             0.0
         };
         println!(
-            "throughput/{name:<37} {:>10} ops  {ops_per_sec:>12.0} ops/sec  {mbps:>8.1} MB/s",
-            trace.records.len()
+            "throughput/{:<37} {:>10} ops  {:>12.0} ops/sec  {:>8.1} MB/s",
+            row.name, row.ops, row.ops_per_sec, row.mbps
         );
         table.row(vec![
-            name.into(),
-            (trace.records.len() as u64).into(),
-            data_bytes.into(),
-            ops_per_sec.into(),
-            mbps.into(),
+            row.name.into(),
+            row.ops.into(),
+            row.data_bytes.into(),
+            row.ops_per_sec.into(),
+            row.mbps.into(),
             baseline.into(),
             speedup.into(),
         ]);
@@ -441,6 +469,73 @@ fn bench_throughput(filter: Option<String>, json: Option<std::path::PathBuf>) {
         std::fs::write(&path, json).expect("write throughput json");
         println!("wrote {}", path.display());
     }
+}
+
+/// Fractional slowdown tolerated by `--check` before the gate fails.
+const CHECK_TOLERANCE: f64 = 0.10;
+
+/// `--check PATH`: the throughput regression gate. Re-measures the full
+/// macrobenchmark and fails (panics, so the process exits non-zero) if
+/// any workload's ops/sec lands more than [`CHECK_TOLERANCE`] below the
+/// recording in `PATH` (normally `BENCH_throughput.json`). Workloads in
+/// the recording but missing from the current build — or vice versa —
+/// fail too: silent coverage loss is a regression.
+fn check_throughput(path: &std::path::Path) {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("check: cannot read {}: {e}", path.display()));
+    let value = ssmc_sim::report::Value::decode(&json).expect("check: recording must parse");
+    let tables = Vec::<Table>::from_report(&value).expect("check: recording must decode");
+    let table = tables.first().expect("check: recording must hold a table");
+    let mut recorded: Vec<(String, f64)> = Vec::new();
+    for row in &table.rows {
+        let (Some(ssmc_sim::Cell::Text(name)), Some(ssmc_sim::Cell::Num(ops))) =
+            (row.first(), row.get(3))
+        else {
+            panic!("check: malformed row in {}", path.display());
+        };
+        recorded.push((name.clone(), *ops));
+    }
+    println!(
+        "check: re-measuring {} workloads against {} (tolerance {:.0}%)…",
+        THROUGHPUT_WORKLOADS.len(),
+        path.display(),
+        CHECK_TOLERANCE * 100.0
+    );
+    let fresh = measure_throughput(25_000, 3);
+    let mut failures: Vec<String> = Vec::new();
+    for row in &fresh {
+        let Some((_, was)) = recorded.iter().find(|(n, _)| n == row.name) else {
+            failures.push(format!(
+                "{}: not in the recording — re-run with --json to add it",
+                row.name
+            ));
+            continue;
+        };
+        let floor = was * (1.0 - CHECK_TOLERANCE);
+        let verdict = if row.ops_per_sec >= floor { "ok" } else { "FAIL" };
+        println!(
+            "check: {:<12} {:>12.0} ops/sec  (recorded {:>12.0}, floor {:>12.0})  {verdict}",
+            row.name, row.ops_per_sec, was, floor
+        );
+        if row.ops_per_sec < floor {
+            failures.push(format!(
+                "{}: {:.0} ops/sec is {:.1}% below the recorded {:.0}",
+                row.name,
+                row.ops_per_sec,
+                (1.0 - row.ops_per_sec / was) * 100.0,
+                was
+            ));
+        }
+    }
+    for (name, _) in &recorded {
+        if !fresh.iter().any(|r| r.name == name.as_str()) {
+            failures.push(format!("{name}: recorded workload no longer measured"));
+        }
+    }
+    if !failures.is_empty() {
+        panic!("throughput regression gate FAILED:\n  {}", failures.join("\n  "));
+    }
+    println!("check: OK — all workloads within {:.0}%", CHECK_TOLERANCE * 100.0);
 }
 
 /// Working set driven by the alloc-guard's steady-state loop.
@@ -627,6 +722,15 @@ fn main() {
     }
     if args.iter().any(|a| a == "--alloc-guard") {
         alloc_guard();
+        return;
+    }
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+    {
+        check_throughput(&path);
         return;
     }
     let json = args

@@ -1,0 +1,84 @@
+//! Process-wide baseline cache-policy selection.
+//!
+//! The experiments binary accepts `--cache-policy lru|lru_k` so the F/T
+//! comparisons can be re-run against a baseline whose buffer cache is not
+//! a scan-vulnerable strawman. The selection applies to every
+//! [`BaselineConfig`] built through [`baseline_config`]; the default is
+//! plain LRU, which reproduces the checked-in `results/` byte for byte.
+
+use ssmc_baseline::{BaselineConfig, CachePolicy};
+// lint: allow(D3): host-side CLI flag set once during argument parsing
+// before any experiment runs; atomic only because statics demand it. No
+// simulated-time path reads it.
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Encoded policy: 0 = LRU, k > 0 = LRU-K with that history depth.
+// lint: allow(D3): see the module-level directive — host-side CLI state.
+static POLICY: AtomicU32 = AtomicU32::new(0);
+
+/// Selects the buffer-cache policy for subsequently built baselines.
+pub fn set_cache_policy(policy: CachePolicy) {
+    let enc = match policy {
+        CachePolicy::Lru => 0,
+        CachePolicy::LruK { k } => k.max(1),
+    };
+    POLICY.store(enc, Ordering::Relaxed);
+}
+
+/// The cache policy in force.
+pub fn cache_policy() -> CachePolicy {
+    match POLICY.load(Ordering::Relaxed) {
+        0 => CachePolicy::Lru,
+        k => CachePolicy::LruK { k },
+    }
+}
+
+/// A [`BaselineConfig`] with the selected cache policy applied.
+pub fn baseline_config() -> BaselineConfig {
+    BaselineConfig {
+        cache_policy: cache_policy(),
+        ..BaselineConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmc_core::DiskComputer;
+    use ssmc_device::BatterySpec;
+    use ssmc_trace::{replay, GeneratorConfig, Workload};
+
+    #[test]
+    fn selected_policy_reaches_the_machine_and_its_metrics() {
+        // Not a global set_cache_policy here — tests run concurrently and
+        // the static is process-wide; build the config directly.
+        let cfg = BaselineConfig {
+            cache_policy: CachePolicy::lru_k(),
+            ..BaselineConfig::default()
+        };
+        let mut m = DiskComputer::new(cfg, BatterySpec::default());
+        let trace = GeneratorConfig::new(Workload::Office)
+            .with_ops(2_000)
+            .with_max_live_bytes(1 << 20)
+            .generate();
+        let clock = m.clock().clone();
+        let r = replay(&trace, &mut m, &clock);
+        assert_eq!(r.errors, 0);
+        let reg = m.metrics_registry();
+        let hits = reg.counter_value("cache.hits").expect("hits counter");
+        let misses = reg.counter_value("cache.misses").expect("misses counter");
+        assert!(hits + misses > 0, "cache saw no traffic");
+        let rate = reg.gauge_value("cache.hit_rate").expect("hit-rate gauge");
+        assert!((0.0..=1.0).contains(&rate), "hit rate {rate} out of range");
+        assert!(rate > 0.0, "office working set should get some cache hits");
+    }
+
+    #[test]
+    fn encoding_round_trips() {
+        assert_eq!(cache_policy(), CachePolicy::Lru);
+        set_cache_policy(CachePolicy::LruK { k: 3 });
+        assert_eq!(cache_policy(), CachePolicy::LruK { k: 3 });
+        set_cache_policy(CachePolicy::Lru);
+        assert_eq!(cache_policy(), CachePolicy::Lru);
+    }
+}

@@ -6,6 +6,7 @@
 //! cargo run --release -p ssmc-bench --bin experiments -- --list
 //! cargo run --release -p ssmc-bench --bin experiments -- all --json results/
 //! cargo run --release -p ssmc-bench --bin experiments -- all --threads 4
+//! cargo run --release -p ssmc-bench --bin experiments -- t2 --cache-policy lru_k
 //! cargo run --release -p ssmc-bench --bin experiments -- --trace-out trace.json
 //! ```
 
@@ -26,6 +27,17 @@ fn main() {
                 std::process::exit(2);
             });
         ssmc_sim::set_threads(n);
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--cache-policy") {
+        let policy = args
+            .get(i + 1)
+            .and_then(|v| ssmc_baseline::CachePolicy::parse(v))
+            .unwrap_or_else(|| {
+                eprintln!("--cache-policy needs one of: lru, lru_k");
+                std::process::exit(2);
+            });
+        ssmc_bench::baseline_policy::set_cache_policy(policy);
     }
 
     let trace_out = args
@@ -69,7 +81,8 @@ fn main() {
     {
         eprintln!(
             "usage: experiments [--list] [--json DIR] [--threads N] \
-             [--trace-out PATH [--trace-ops N]] <ids...|all>"
+             [--cache-policy lru|lru_k] [--trace-out PATH [--trace-ops N]] \
+             <ids...|all>"
         );
         eprintln!("experiments:");
         for e in &registry {

@@ -14,6 +14,7 @@
 //! ```
 
 pub mod alloc_sentinel;
+pub mod baseline_policy;
 pub mod exp;
 pub mod obs_trace;
 

@@ -289,6 +289,17 @@ impl MobileComputer {
                 self.trace_files.remove(file);
                 self.fs.unlink(&Self::trace_path(file))?;
             }
+            FileOp::Stat { file } => {
+                self.fs.stat(&Self::trace_path(file))?;
+            }
+            FileOp::Rename { file, to } => {
+                self.fs
+                    .rename(&Self::trace_path(file), &Self::trace_path(to))?;
+                if let Some(fd) = self.trace_files.get(file) {
+                    self.trace_files.remove(file);
+                    self.trace_files.insert(to, fd);
+                }
+            }
             FileOp::Sync => self.fs.sync()?,
         }
         Ok(())
@@ -313,6 +324,8 @@ impl TraceTarget for MobileComputer {
             FileOp::Read { len, .. } => (EventKind::TraceRead, len),
             FileOp::Truncate { .. } => (EventKind::TraceTruncate, 0),
             FileOp::Delete { .. } => (EventKind::TraceDelete, 0),
+            FileOp::Stat { .. } => (EventKind::TraceStat, 0),
+            FileOp::Rename { .. } => (EventKind::TraceRename, 0),
             FileOp::Sync => (EventKind::TraceSync, 0),
         };
         // Root span: whole-machine energy delta for the op. Nested device

@@ -1,5 +1,6 @@
 //! The memory-resident file system proper.
 
+use crate::btree::BTreeIndex;
 use crate::error::FsError;
 use crate::layout::{
     file_page, split_path, window, DirEntry, Ino, Inode, InodeKind, Superblock, DIRENT_BYTES,
@@ -9,21 +10,80 @@ use crate::Result;
 use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
 use ssmc_sim::Energy;
 use ssmc_storage::{PageId, RecoveryReport, StorageManager};
-// lint: allow(D2): every map/set in this file is keyed-access or
-// membership-only; the per-site directives below argue each use.
+// lint: allow(D2): the fsck maps/sets below are keyed-access or
+// membership-only; the per-site directives argue each use.
 use std::collections::{HashMap, HashSet, VecDeque};
 
-/// DRAM-resident index of one directory: name → (slot, ino), plus the
-/// freed dirent slots available for reuse (LIFO, matching the slot-scan
-/// order the pre-index implementation produced).
+/// DRAM-resident index of one directory: a deterministic B-tree mapping
+/// name → (slot, ino) with names interned in its arena, plus the freed
+/// dirent slots available for reuse (LIFO, matching the slot-scan order
+/// the pre-index implementation produced).
 #[derive(Debug, Default)]
 struct DirIndex {
-    // lint: allow(D2): keyed lookup/insert/remove only. The one bulk
-    // operation (`retain` on unlink) removes by value predicate, which
-    // is order-independent; directory *listing* order comes from the
-    // on-flash dirent slots, never from this map.
-    names: HashMap<String, (u64, Ino)>,
+    names: BTreeIndex<(u64, Ino)>,
     free_slots: Vec<u64>,
+    /// How many index entries claim each slot. Normally 0 or 1, but a
+    /// stale entry (e.g. left behind when an error path gave a live slot
+    /// back to `free_slots`) can alias a reused slot. Zeroing a slot must
+    /// then drop *every* claimant — the pre-B-tree `HashMap::retain` by
+    /// slot did exactly that, and replayed results depend on it — so this
+    /// counter tells `remove_slot_entries` when the rare healing scan is
+    /// needed without an O(n) walk per delete.
+    slot_rc: Vec<u32>,
+}
+
+impl DirIndex {
+    fn bump_slot(&mut self, slot: u64) {
+        let i = slot as usize;
+        if self.slot_rc.len() <= i {
+            self.slot_rc.resize(i + 1, 0);
+        }
+        self.slot_rc[i] += 1;
+    }
+
+    fn drop_slot(&mut self, slot: u64) {
+        self.slot_rc[slot as usize] -= 1;
+    }
+
+    fn slot_claims(&self, slot: u64) -> u32 {
+        self.slot_rc.get(slot as usize).copied().unwrap_or(0)
+    }
+
+    /// Records `name → (slot, ino)`, keeping the claim counts exact when
+    /// the insert overwrites an entry pointing at another slot.
+    fn insert(&mut self, name: &str, slot: u64, ino: Ino) {
+        if let Some((old_slot, _)) = self.names.insert(name, (slot, ino)) {
+            self.drop_slot(old_slot);
+        }
+        self.bump_slot(slot);
+    }
+
+    /// Removes every index entry claiming `slot` — the exact semantics of
+    /// the historical `names.retain(|_, (s, _)| *s != slot)`, which kept
+    /// the index self-healing when a stale alias pointed at a reused
+    /// slot. `name_hint` (the caller's lookup result or the on-flash
+    /// entry name) covers the common single-claimant case in O(log n);
+    /// only genuine aliases pay the full scan.
+    fn remove_slot_entries(&mut self, slot: u64, name_hint: &str) {
+        if let Some((s, _)) = self.names.get(name_hint) {
+            if s == slot {
+                self.names.remove(name_hint);
+                self.drop_slot(slot);
+            }
+        }
+        if self.slot_claims(slot) > 0 {
+            let mut stale = Vec::new();
+            self.names.for_each(|n, (s, _)| {
+                if s == slot {
+                    stale.push(n.to_owned());
+                }
+            });
+            for n in &stale {
+                self.names.remove(n);
+                self.drop_slot(slot);
+            }
+        }
+    }
 }
 
 /// How a descriptor was opened.
@@ -134,8 +194,9 @@ pub struct MemFs {
     /// directories memory-resident; this is the in-memory structure a real
     /// implementation would use instead of a buffer cache, maintained
     /// incrementally and rebuilt at mount and by fsck from the durable
-    /// slot layout. Lookups key the per-directory map by `&str`, so path
-    /// resolution allocates nothing.
+    /// slot layout. Each directory's index is a [`BTreeIndex`] probing
+    /// arena-interned keys by `&str`, so path resolution allocates
+    /// nothing and stays O(log n) at million-entry populations.
     dirs: Vec<Option<DirIndex>>,
     /// Recycled page-sized scratch buffer for sub-page reads and RMW.
     scratch: Vec<u8>,
@@ -204,7 +265,36 @@ impl MemFs {
         reg.counter("fs.bytes_read", self.metrics.bytes_read);
         reg.counter("fs.bytes_written", self.metrics.bytes_written);
         reg.counter("fs.copy_on_open_bytes", self.metrics.copy_on_open_bytes);
+        let (depth, splits) = self.dindex_stats();
+        reg.counter("fs.dindex_splits", splits);
+        reg.gauge("fs.dindex_depth", f64::from(depth));
         self.sm.publish_metrics(reg);
+    }
+
+    /// Directory-index shape: (max B-tree depth across directories, total
+    /// node splits). Depth bounds every lookup's node count, so the scale
+    /// tests assert O(log n) directly from this.
+    pub fn dindex_stats(&self) -> (u32, u64) {
+        let mut depth = 0u32;
+        let mut splits = 0u64;
+        for d in self.dirs.iter().flatten() {
+            depth = depth.max(d.names.depth());
+            splits += d.names.splits();
+        }
+        (depth, splits)
+    }
+
+    /// Directory-index memory footprint: (name-arena bytes, slab nodes)
+    /// summed across directories. Steady-state churn must keep both flat
+    /// — freed spans and nodes are reused, never leaked.
+    pub fn dindex_footprint(&self) -> (u64, u64) {
+        let mut arena = 0u64;
+        let mut nodes = 0u64;
+        for d in self.dirs.iter().flatten() {
+            arena += d.names.arena_bytes() as u64;
+            nodes += d.names.node_slab_len() as u64;
+        }
+        (arena, nodes)
     }
 
     /// The write policy in force.
@@ -384,13 +474,13 @@ impl MemFs {
         self.dirs[idx].get_or_insert_with(DirIndex::default)
     }
 
+    // lint: hot-path
     fn dir_lookup(&mut self, dir: Ino, _dir_size: u64, name: &str) -> Result<Option<(u64, Ino)>> {
         Ok(self
             .dirs
             .get(dir as usize)
             .and_then(|d| d.as_ref())
-            .and_then(|d| d.names.get(name))
-            .copied())
+            .and_then(|d| d.names.get(name)))
     }
 
     /// Rebuilds the DRAM directory index and free-slot lists by scanning
@@ -414,7 +504,7 @@ impl MemFs {
                         if target.kind == InodeKind::Dir && seen.insert(e.ino) {
                             queue.push_back(e.ino);
                         }
-                        self.dir_index_mut(dir).names.insert(e.name, (slot, e.ino));
+                        self.dir_index_mut(dir).insert(&e.name, slot, e.ino);
                     }
                     None => {
                         self.dir_index_mut(dir).free_slots.push(slot);
@@ -425,6 +515,7 @@ impl MemFs {
         Ok(())
     }
 
+    // lint: hot-path
     fn dir_add(&mut self, dir: Ino, entry: &DirEntry) -> Result<()> {
         // Reuse a freed slot if one exists, else append.
         let reused = self.dir_index_mut(dir).free_slots.pop();
@@ -443,16 +534,14 @@ impl MemFs {
                 slot
             }
         };
-        self.dir_index_mut(dir)
-            .names
-            .insert(entry.name.clone(), (slot, entry.ino));
+        self.dir_index_mut(dir).insert(&entry.name, slot, entry.ino);
         Ok(())
     }
 
-    fn dir_remove_slot(&mut self, dir: Ino, slot: u64) -> Result<()> {
+    fn dir_remove_slot(&mut self, dir: Ino, slot: u64, name: &str) -> Result<()> {
         self.write_dirent_slot(dir, slot, &[0u8; DIRENT_BYTES])?;
         let d = self.dir_index_mut(dir);
-        d.names.retain(|_, (s, _)| *s != slot);
+        d.remove_slot_entries(slot, name);
         d.free_slots.push(slot);
         Ok(())
     }
@@ -807,7 +896,7 @@ impl MemFs {
         } else {
             self.remove_inode(ino, inode.size)?;
         }
-        self.dir_remove_slot(dir, slot)?;
+        self.dir_remove_slot(dir, slot, name)?;
         self.metrics.deletes += 1;
         Ok(())
     }
@@ -878,7 +967,7 @@ impl MemFs {
             return Err(FsError::DirNotEmpty);
         }
         self.remove_inode(ino, inode.size)?;
-        self.dir_remove_slot(dir, slot)?;
+        self.dir_remove_slot(dir, slot, name)?;
         self.metrics.deletes += 1;
         Ok(())
     }
@@ -907,7 +996,7 @@ impl MemFs {
                 name: new_name.to_owned(),
             },
         )?;
-        self.dir_remove_slot(old_dir, old_slot)?;
+        self.dir_remove_slot(old_dir, old_slot, old_name)?;
         Ok(())
     }
 
@@ -1057,7 +1146,7 @@ impl MemFs {
                 };
                 match target {
                     InodeKind::Free => {
-                        self.dir_remove_slot(dir, slot)?;
+                        self.dir_remove_slot(dir, slot, &entry.name)?;
                         report.dangling_entries += 1;
                     }
                     InodeKind::Dir => {
@@ -1065,7 +1154,7 @@ impl MemFs {
                             queue.push_back(entry.ino);
                         } else {
                             // Second link to a directory: drop it.
-                            self.dir_remove_slot(dir, slot)?;
+                            self.dir_remove_slot(dir, slot, &entry.name)?;
                             report.dangling_entries += 1;
                         }
                     }
@@ -1203,6 +1292,75 @@ mod tests {
         assert_eq!(f.write(fd, 0, b"x"), Err(FsError::BadFd));
         // Name is reusable.
         f.create("/big").expect("recreate");
+    }
+
+    #[test]
+    fn freed_dirent_slots_are_reused_lifo() {
+        // The free-slot list is load-bearing for the on-flash layout:
+        // recreates must fill the most recently freed slot first, so the
+        // listing (which scans slots in order) — and therefore `results/`
+        // — is pinned by this exact order.
+        let mut f = fs();
+        for name in ["/a", "/b", "/c", "/d"] {
+            f.create(name).expect("create");
+        }
+        f.unlink("/b").expect("unlink slot 1");
+        f.unlink("/c").expect("unlink slot 2");
+        // LIFO: /e takes slot 2 (freed last), /f takes slot 1, /g appends.
+        for name in ["/e", "/f", "/g"] {
+            f.create(name).expect("recreate");
+        }
+        let order: Vec<String> = f
+            .list_dir("/")
+            .expect("list")
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(order, ["a", "f", "e", "d", "g"], "slot layout changed");
+    }
+
+    #[test]
+    fn zeroing_a_slot_drops_every_aliased_index_entry() {
+        // A stale index entry can alias a reused slot (historically: an
+        // error path handed a live slot back to `free_slots`). The
+        // pre-B-tree HashMap removed entries by slot (`retain`), so
+        // zeroing the slot healed every claimant at once — and long
+        // replays pin that behaviour. Reproduce the alias directly and
+        // check the B-tree path heals the same way.
+        let mut f = fs();
+        f.create("/a").expect("create"); // slot 0
+        f.create("/b").expect("create"); // slot 1
+        // Simulate the historical double-free: slot 0 is live but listed
+        // as free.
+        f.dirs[ROOT_INO as usize]
+            .as_mut()
+            .expect("root index")
+            .free_slots
+            .push(0);
+        // /c reuses slot 0, overwriting /a's dirent; the index now holds
+        // two claimants for slot 0.
+        f.create("/c").expect("create");
+        assert!(f.stat("/a").is_ok(), "stale alias still resolves");
+        // Zeroing the slot must drop BOTH entries, as retain-by-slot did.
+        f.unlink("/c").expect("unlink");
+        assert_eq!(f.stat("/a").unwrap_err(), FsError::NotFound);
+        assert_eq!(f.stat("/c").unwrap_err(), FsError::NotFound);
+        assert!(f.stat("/b").is_ok(), "unrelated entry survives");
+    }
+
+    #[test]
+    fn dindex_depth_grows_logarithmically_and_publishes() {
+        let mut f = fs();
+        for i in 0..120 {
+            f.create(&format!("/f{i:03}")).expect("create");
+        }
+        let (depth, splits) = f.dindex_stats();
+        assert!(depth >= 2, "120 entries must split the root");
+        assert!(splits > 0);
+        let mut reg = MetricsRegistry::new();
+        f.publish_metrics(&mut reg);
+        assert_eq!(reg.counter_value("fs.dindex_splits"), Some(splits));
+        assert_eq!(reg.gauge_value("fs.dindex_depth"), Some(f64::from(depth)));
     }
 
     #[test]

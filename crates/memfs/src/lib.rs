@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod btree;
 pub mod error;
 pub mod fs;
 pub mod layout;

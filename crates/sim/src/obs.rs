@@ -93,6 +93,10 @@ pub enum EventKind {
     TraceDelete,
     /// `FileOp::Sync` root span.
     TraceSync,
+    /// `FileOp::Stat` root span.
+    TraceStat,
+    /// `FileOp::Rename` root span.
+    TraceRename,
     // Vm layer.
     /// A page fault (minor or major; `pages` counts major loads).
     VmFault,
@@ -128,13 +132,15 @@ pub enum EventKind {
 }
 
 /// All event kinds, in the fixed order aggregates serialize in.
-pub const EVENT_KINDS: [EventKind; 20] = [
+pub const EVENT_KINDS: [EventKind; 22] = [
     EventKind::TraceCreate,
     EventKind::TraceWrite,
     EventKind::TraceRead,
     EventKind::TraceTruncate,
     EventKind::TraceDelete,
     EventKind::TraceSync,
+    EventKind::TraceStat,
+    EventKind::TraceRename,
     EventKind::VmFault,
     EventKind::VmXip,
     EventKind::FsOpen,
@@ -161,6 +167,8 @@ impl EventKind {
             EventKind::TraceTruncate => "trace.truncate",
             EventKind::TraceDelete => "trace.delete",
             EventKind::TraceSync => "trace.sync",
+            EventKind::TraceStat => "trace.stat",
+            EventKind::TraceRename => "trace.rename",
             EventKind::VmFault => "vm.fault",
             EventKind::VmXip => "vm.xip",
             EventKind::FsOpen => "fs.open",
@@ -191,7 +199,9 @@ impl EventKind {
             | EventKind::TraceRead
             | EventKind::TraceTruncate
             | EventKind::TraceDelete
-            | EventKind::TraceSync => Layer::Machine,
+            | EventKind::TraceSync
+            | EventKind::TraceStat
+            | EventKind::TraceRename => Layer::Machine,
             EventKind::VmFault | EventKind::VmXip => Layer::Vm,
             EventKind::FsOpen | EventKind::FsRead | EventKind::FsWrite => Layer::MemFs,
             EventKind::StorageFlush

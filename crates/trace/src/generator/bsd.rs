@@ -16,6 +16,8 @@ pub(crate) fn profile() -> Profile {
             delete: 0.05,
             truncate: 0.02,
             sync: 0.004,
+            stat: 0.0,
+            rename: 0.0,
         },
         // Median ≈ 3 KB, heavy-tailed: most files small, most bytes in
         // large files.

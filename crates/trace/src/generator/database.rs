@@ -17,6 +17,8 @@ pub(crate) fn profile() -> Profile {
             delete: 0.001,
             truncate: 0.0,
             sync: 0.002,
+            stat: 0.0,
+            rename: 0.0,
         },
         // Tables: 0.5–2 MB.
         size_mu: 13.7,

@@ -1,0 +1,38 @@
+//! Metadata-heavy mail-spool profile: maildir-style delivery and mailbox
+//! scanning. Messages are small and short-lived; the op mix is dominated
+//! by namespace traffic — every delivery is create + rename (tmp file to
+//! final name), every mailbox poll stats the recent messages, and reads
+//! pull whole messages. This is the workload that stresses the directory
+//! index rather than the data path.
+
+use super::{OpWeights, Profile};
+use crate::lifetime::LifetimeModel;
+
+pub(crate) fn profile() -> Profile {
+    Profile {
+        name: "mail-spool",
+        weights: OpWeights {
+            create: 0.16,
+            overwrite: 0.03,
+            read: 0.20,
+            delete: 0.12,
+            truncate: 0.005,
+            sync: 0.015,
+            stat: 0.32,
+            rename: 0.15,
+        },
+        // Messages: median ≈ 2 KB, few exceed 256 KB.
+        size_mu: 7.6,
+        size_sigma: 1.2,
+        size_min: 256,
+        size_max: 256 * 1024,
+        chunk_min: 512,
+        chunk_max: 4 * 1024,
+        // Mail readers pull whole messages.
+        whole_file_read_prob: 0.95,
+        recency_skew: 1.1,
+        append_prob: 0.8,
+        lifetime: LifetimeModel::default(),
+        initial_files: 120,
+    }
+}

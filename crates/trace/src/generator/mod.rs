@@ -8,6 +8,7 @@
 
 mod bsd;
 mod database;
+mod mail_spool;
 mod office;
 mod software_dev;
 
@@ -30,6 +31,9 @@ pub enum Workload {
     SoftwareDev,
     /// Random in-place record updates in a few large files.
     Database,
+    /// Metadata-heavy mail delivery and mailbox scanning: create / stat /
+    /// rename / unlink churn over many small messages.
+    MailSpool,
 }
 
 impl core::fmt::Display for Workload {
@@ -39,6 +43,7 @@ impl core::fmt::Display for Workload {
             Workload::Office => "office",
             Workload::SoftwareDev => "software-dev",
             Workload::Database => "database",
+            Workload::MailSpool => "mail-spool",
         };
         write!(f, "{s}")
     }
@@ -53,6 +58,12 @@ pub(crate) struct OpWeights {
     pub delete: f64,
     pub truncate: f64,
     pub sync: f64,
+    /// Attribute-only touches. Zero in the original four profiles: the
+    /// weighted draw consumes one uniform either way, so traces generated
+    /// before these ops existed are unchanged byte for byte.
+    pub stat: f64,
+    /// Renames (e.g. mail-spool delivery: tmp file → final name).
+    pub rename: f64,
 }
 
 /// A workload's statistical shape.
@@ -163,6 +174,7 @@ impl GeneratorConfig {
             Workload::Office => office::profile(),
             Workload::SoftwareDev => software_dev::profile(),
             Workload::Database => database::profile(),
+            Workload::MailSpool => mail_spool::profile(),
         };
         if let Some(l) = self.lifetime_override {
             profile.lifetime = l;
@@ -342,6 +354,36 @@ impl<'a> Engine<'a> {
         self.files.get_mut(&file).expect("live").size = new_len;
     }
 
+    fn op_stat(&mut self) {
+        let Some(file) = self.pick_file() else {
+            self.create_default();
+            return;
+        };
+        self.trace.push(self.now, FileOp::Stat { file });
+        self.touch(file);
+    }
+
+    fn op_rename(&mut self) {
+        let Some(file) = self.pick_file() else {
+            self.create_default();
+            return;
+        };
+        let to = self.next_id;
+        self.next_id += 1;
+        self.trace.push(self.now, FileOp::Rename { file, to });
+        // The data lives on under the new id; the old id retires. The
+        // stale death event becomes a no-op (delete ignores dead ids), so
+        // the file gets a fresh lifetime draw under its new name.
+        let lf = self.files.remove(&file).expect("live");
+        self.files.insert(to, lf);
+        if let Some(pos) = self.recency.iter().position(|&f| f == file) {
+            self.recency[pos] = to;
+        }
+        self.touch(to);
+        let death = self.now + self.profile.lifetime.sample(&mut self.rng);
+        self.deaths.schedule(death, to);
+    }
+
     fn create_default(&mut self) {
         let size = self.sample_size();
         self.create_file(size);
@@ -353,12 +395,22 @@ impl<'a> Engine<'a> {
             self.create_default();
         }
         let weights = self.profile.weights;
+        // Sync stays the LAST entry: `SimRng::weighted` falls back to the
+        // final index when float drift leaves the draw past every bucket,
+        // and that terminal case must keep resolving to Sync (as it did
+        // with the original six-entry table) or pre-stat/rename traces
+        // would not reproduce byte for byte. The zero-weight stat/rename
+        // entries in the legacy profiles can never win a bucket, and
+        // subtracting 0.0 leaves the draw untouched, so mid-table they
+        // are inert.
         let table = [
             weights.create,
             weights.overwrite,
             weights.read,
             weights.delete,
             weights.truncate,
+            weights.stat,
+            weights.rename,
             weights.sync,
         ];
         while self.trace.len() < self.cfg.ops {
@@ -381,6 +433,8 @@ impl<'a> Engine<'a> {
                     }
                 }
                 4 => self.op_truncate(),
+                5 => self.op_stat(),
+                6 => self.op_rename(),
                 _ => self.trace.push(self.now, FileOp::Sync),
             }
         }
@@ -443,9 +497,28 @@ mod tests {
 
     #[test]
     fn operations_reference_live_files() {
+        check_live_file_model(&gen(Workload::Bsd));
+    }
+
+    #[test]
+    fn mail_spool_is_metadata_heavy_and_consistent() {
+        let t = gen(Workload::MailSpool);
+        check_live_file_model(&t);
+        let s = t.stats();
+        assert!(s.stats > 0, "mail-spool must stat");
+        assert!(s.renames > 0, "mail-spool must rename");
+        let namespace = s.creates + s.deletes + s.stats + s.renames;
+        let data = s.writes + s.reads;
+        assert!(
+            namespace > data,
+            "namespace ops ({namespace}) should dominate data ops ({data})"
+        );
+    }
+
+    fn check_live_file_model(t: &Trace) {
         // Replay the trace against a simple model: every non-create op on a
-        // file must land between its Create and its Delete.
-        let t = gen(Workload::Bsd);
+        // file must land between its Create and its Delete (or Rename, which
+        // retires the old id and brings the new one to life).
         let mut live = std::collections::HashSet::new();
         for r in &t.records {
             match &r.op {
@@ -457,8 +530,13 @@ mod tests {
                 }
                 FileOp::Write { file, .. }
                 | FileOp::Read { file, .. }
-                | FileOp::Truncate { file, .. } => {
+                | FileOp::Truncate { file, .. }
+                | FileOp::Stat { file } => {
                     assert!(live.contains(file), "op on dead file {file}");
+                }
+                FileOp::Rename { file, to } => {
+                    assert!(live.remove(file), "rename of dead file {file}");
+                    assert!(live.insert(*to), "rename onto live file {to}");
                 }
                 FileOp::Sync => {}
             }

@@ -17,6 +17,8 @@ pub(crate) fn profile() -> Profile {
             delete: 0.08,
             truncate: 0.01,
             sync: 0.003,
+            stat: 0.0,
+            rename: 0.0,
         },
         // Object files: 4–128 KB.
         size_mu: 9.6,

@@ -51,6 +51,20 @@ pub enum FileOp {
         /// New length.
         len: u64,
     },
+    /// Read the file's attributes (a metadata-only touch; no data moves).
+    Stat {
+        /// Target file.
+        file: FileId,
+    },
+    /// Rename the file. The trace retires `file` and continues under
+    /// `to` — a fresh id never used before — so replay targets can model
+    /// the rename as a directory-entry rewrite without aliasing.
+    Rename {
+        /// File being renamed.
+        file: FileId,
+        /// Its identity after the rename.
+        to: FileId,
+    },
     /// Force all dirty data to stable storage (the 30-second `sync` of
     /// conventional systems, or an explicit application fsync-all).
     Sync,
@@ -65,6 +79,8 @@ impl FileOp {
             FileOp::Read { .. } => OpKind::Read,
             FileOp::Delete { .. } => OpKind::Delete,
             FileOp::Truncate { .. } => OpKind::Truncate,
+            FileOp::Stat { .. } => OpKind::Stat,
+            FileOp::Rename { .. } => OpKind::Rename,
             FileOp::Sync => OpKind::Sync,
         }
     }
@@ -76,7 +92,9 @@ impl FileOp {
             | FileOp::Write { file, .. }
             | FileOp::Read { file, .. }
             | FileOp::Delete { file }
-            | FileOp::Truncate { file, .. } => Some(*file),
+            | FileOp::Truncate { file, .. }
+            | FileOp::Stat { file }
+            | FileOp::Rename { file, .. } => Some(*file),
             FileOp::Sync => None,
         }
     }
@@ -120,6 +138,14 @@ impl ToReport for FileOp {
                     ("len", len.to_report()),
                 ]),
             )]),
+            FileOp::Stat { file } => Value::object(vec![(
+                "Stat",
+                Value::object(vec![("file", file.to_report())]),
+            )]),
+            FileOp::Rename { file, to } => Value::object(vec![(
+                "Rename",
+                Value::object(vec![("file", file.to_report()), ("to", to.to_report())]),
+            )]),
             FileOp::Sync => Value::Str("Sync".to_owned()),
         }
     }
@@ -152,6 +178,13 @@ impl FromReport for FileOp {
                     file: field(inner, "file")?,
                     len: field(inner, "len")?,
                 }),
+                "Stat" => Ok(FileOp::Stat {
+                    file: field(inner, "file")?,
+                }),
+                "Rename" => Ok(FileOp::Rename {
+                    file: field(inner, "file")?,
+                    to: field(inner, "to")?,
+                }),
                 other => Err(ReportError::schema(format!(
                     "unknown FileOp variant `{other}`"
                 ))),
@@ -176,17 +209,24 @@ pub enum OpKind {
     Truncate,
     /// Whole-system sync.
     Sync,
+    /// Attribute read.
+    Stat,
+    /// Rename.
+    Rename,
 }
 
 impl OpKind {
-    /// All kinds, in report order.
-    pub const ALL: [OpKind; 6] = [
+    /// All kinds, in report order. `Stat` and `Rename` append after the
+    /// original six so existing per-op report layouts keep their order.
+    pub const ALL: [OpKind; 8] = [
         OpKind::Create,
         OpKind::Write,
         OpKind::Read,
         OpKind::Delete,
         OpKind::Truncate,
         OpKind::Sync,
+        OpKind::Stat,
+        OpKind::Rename,
     ];
 }
 
@@ -199,6 +239,8 @@ impl core::fmt::Display for OpKind {
             OpKind::Delete => "delete",
             OpKind::Truncate => "truncate",
             OpKind::Sync => "sync",
+            OpKind::Stat => "stat",
+            OpKind::Rename => "rename",
         };
         write!(f, "{s}")
     }
@@ -214,6 +256,8 @@ impl ToReport for OpKind {
                 OpKind::Delete => "Delete",
                 OpKind::Truncate => "Truncate",
                 OpKind::Sync => "Sync",
+                OpKind::Stat => "Stat",
+                OpKind::Rename => "Rename",
             }
             .to_owned(),
         )
@@ -229,6 +273,8 @@ impl FromReport for OpKind {
             Some("Delete") => Ok(OpKind::Delete),
             Some("Truncate") => Ok(OpKind::Truncate),
             Some("Sync") => Ok(OpKind::Sync),
+            Some("Stat") => Ok(OpKind::Stat),
+            Some("Rename") => Ok(OpKind::Rename),
             _ => Err(ReportError::schema("unknown OpKind variant")),
         }
     }
@@ -330,6 +376,11 @@ impl Trace {
                 }
                 FileOp::Delete { .. } => s.deletes += 1,
                 FileOp::Truncate { .. } => s.truncates += 1,
+                FileOp::Stat { .. } => s.stats += 1,
+                FileOp::Rename { to, .. } => {
+                    s.renames += 1;
+                    files.insert(*to);
+                }
                 FileOp::Sync => s.syncs += 1,
             }
         }
@@ -371,6 +422,10 @@ pub struct TraceStats {
     pub truncates: u64,
     /// Sync operations.
     pub syncs: u64,
+    /// Stat operations.
+    pub stats: u64,
+    /// Rename operations.
+    pub renames: u64,
     /// Total bytes written.
     pub bytes_written: u64,
     /// Total bytes read.
@@ -388,6 +443,8 @@ impl ToReport for TraceStats {
             ("deletes", self.deletes.to_report()),
             ("truncates", self.truncates.to_report()),
             ("syncs", self.syncs.to_report()),
+            ("stats", self.stats.to_report()),
+            ("renames", self.renames.to_report()),
             ("bytes_written", self.bytes_written.to_report()),
             ("bytes_read", self.bytes_read.to_report()),
             ("unique_files", self.unique_files.to_report()),
@@ -404,6 +461,8 @@ impl FromReport for TraceStats {
             deletes: field(v, "deletes")?,
             truncates: field(v, "truncates")?,
             syncs: field(v, "syncs")?,
+            stats: field(v, "stats")?,
+            renames: field(v, "renames")?,
             bytes_written: field(v, "bytes_written")?,
             bytes_read: field(v, "bytes_read")?,
             unique_files: field(v, "unique_files")?,
@@ -414,7 +473,14 @@ impl FromReport for TraceStats {
 impl TraceStats {
     /// Total operations.
     pub fn total_ops(&self) -> u64 {
-        self.creates + self.writes + self.reads + self.deletes + self.truncates + self.syncs
+        self.creates
+            + self.writes
+            + self.reads
+            + self.deletes
+            + self.truncates
+            + self.syncs
+            + self.stats
+            + self.renames
     }
 }
 
@@ -477,7 +543,32 @@ mod tests {
         assert_eq!(w.kind(), OpKind::Write);
         assert_eq!(w.file(), Some(9));
         assert_eq!(FileOp::Sync.file(), None);
-        assert_eq!(OpKind::ALL.len(), 6);
+        let r = FileOp::Rename { file: 3, to: 4 };
+        assert_eq!(r.kind(), OpKind::Rename);
+        assert_eq!(r.file(), Some(3));
+        assert_eq!(FileOp::Stat { file: 5 }.kind(), OpKind::Stat);
+        assert_eq!(OpKind::ALL.len(), 8);
+    }
+
+    #[test]
+    fn stat_and_rename_round_trip_and_aggregate() {
+        let mut tr = Trace::new("meta");
+        tr.push(t(0), FileOp::Create { file: 1 });
+        tr.push(t(1), FileOp::Stat { file: 1 });
+        tr.push(t(2), FileOp::Rename { file: 1, to: 2 });
+        tr.push(t(3), FileOp::Delete { file: 2 });
+        let s = tr.stats();
+        assert_eq!(s.stats, 1);
+        assert_eq!(s.renames, 1);
+        assert_eq!(s.unique_files, 2, "rename target counts as a file");
+        assert_eq!(s.total_ops(), 4);
+        let json = tr.to_report().encode();
+        let back = Trace::from_report(&Value::decode(&json).expect("json")).expect("trace");
+        assert_eq!(back.records, tr.records);
+        assert!(json.contains("{\"Rename\":{\"file\":1,\"to\":2}}"), "json: {json}");
+        let s2 = TraceStats::from_report(&Value::decode(&s.to_report().encode()).expect("json"))
+            .expect("stats");
+        assert_eq!(s2, s);
     }
 
     #[test]

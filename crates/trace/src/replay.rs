@@ -126,6 +126,17 @@ mod tests {
                 FileOp::Read { .. } => {
                     self.clock.advance(self.read_cost);
                 }
+                FileOp::Stat { file } => {
+                    if !self.live.contains(file) {
+                        return Err("stat of unknown file".into());
+                    }
+                }
+                FileOp::Rename { file, to } => {
+                    if !self.live.remove(file) {
+                        return Err("rename of unknown file".into());
+                    }
+                    self.live.insert(*to);
+                }
                 FileOp::Sync => {}
             }
             Ok(())

@@ -26,6 +26,18 @@ cargo bench -p ssmc-bench --bench simulator --offline -- --smoke
 # heap allocations per op (the dynamic half of the lint's H1 rule).
 cargo bench -p ssmc-bench --bench simulator --offline -- --alloc-guard --smoke
 
+# Throughput regression gate: re-measure every workload and fail if any
+# drops more than 10% below the checked-in BENCH_throughput.json (or if
+# the workload sets diverge in either direction). Absolute path: cargo
+# runs the bench with CWD at the package root, not the workspace root.
+cargo bench -p ssmc-bench --bench simulator --offline -- --check "$PWD/BENCH_throughput.json"
+
+# Namespace scale proof: million-entry directory with O(log n) depth
+# asserted structurally, flat memory under churn, and a 10-level-deep
+# tree. Ignored by default (release-only by design — a debug million-file
+# loop is pointlessly slow).
+cargo test --release --offline --test scale_namespace -- --ignored
+
 # Observability smoke: a traced replay must produce a decodable artifact
 # and trace-dump must render it. Uses a temp path — trace artifacts
 # never land in results/.

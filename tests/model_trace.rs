@@ -10,11 +10,12 @@ use std::collections::{HashMap, HashSet};
 /// Base seed for the deterministic case generator.
 const SEED: u64 = 0x7124_CE00;
 
-const WORKLOADS: [Workload; 4] = [
+const WORKLOADS: [Workload; 5] = [
     Workload::Bsd,
     Workload::Office,
     Workload::SoftwareDev,
     Workload::Database,
+    Workload::MailSpool,
 ];
 
 /// For any workload, seed, and lifetime skew: traces are time-ordered,
@@ -67,6 +68,16 @@ fn generated_traces_are_well_formed() {
                 FileOp::Truncate { file, len } => {
                     let size = live.get_mut(file).expect("truncate of dead file");
                     *size = (*size).min(*len);
+                }
+                FileOp::Stat { file } => {
+                    assert!(live.contains_key(file), "{ctx}: stat of dead file");
+                }
+                FileOp::Rename { file, to } => {
+                    let size = live.remove(file).expect("rename of dead file");
+                    assert!(
+                        live.insert(*to, size).is_none(),
+                        "{ctx}: rename onto live id"
+                    );
                 }
                 FileOp::Sync => {}
             }
