@@ -18,6 +18,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = experiments();
 
+    if args.first().map(String::as_str) == Some("trace-compile") {
+        trace_compile(&args[1..]);
+        return;
+    }
+
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         let n = args
             .get(i + 1)
@@ -84,6 +89,10 @@ fn main() {
              [--cache-policy lru|lru_k] [--trace-out PATH [--trace-ops N]] \
              <ids...|all>"
         );
+        eprintln!(
+            "       experiments trace-compile --out PATH \
+             [--workload NAME] [--ops N]"
+        );
         eprintln!("experiments:");
         for e in &registry {
             eprintln!("  {:4}  {}", e.id, e.title);
@@ -138,4 +147,66 @@ fn main() {
         eprintln!("no matching experiments; try --list");
         std::process::exit(2);
     }
+}
+
+/// `experiments trace-compile --out PATH [--workload NAME] [--ops N]`
+///
+/// Compiles a generated workload straight to a fixed-width `.ops` stream
+/// on disk, then reopens it and dumps the header as a sanity check.
+fn trace_compile(args: &[String]) {
+    use ssmc_trace::io::{OpStreamFileReader, OpStreamWriter};
+    use ssmc_trace::{GeneratorConfig, Workload};
+
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| {
+                args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+            })
+    };
+    let workload = match flag("--workload") {
+        None => Workload::Bsd,
+        Some(v) => Workload::parse(&v).unwrap_or_else(|| {
+            eprintln!(
+                "unknown workload {v:?}; one of: {}",
+                Workload::ALL.map(|w| w.name()).join(", ")
+            );
+            std::process::exit(2);
+        }),
+    };
+    let ops = match flag("--ops") {
+        None => 25_000usize,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--ops needs a positive integer");
+            std::process::exit(2);
+        }),
+    };
+    let out = flag("--out").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        eprintln!("trace-compile needs --out PATH");
+        std::process::exit(2);
+    });
+
+    eprintln!(">>> trace-compile: {workload}, {ops} ops -> {}", out.display());
+    let start = std::time::Instant::now();
+    let cfg = GeneratorConfig::new(workload)
+        .with_ops(ops)
+        .with_max_live_bytes(4 << 20);
+    let mut w = OpStreamWriter::create(&out, &workload.to_string())
+        .expect("create op stream");
+    let written = cfg.generate_into(&mut w).expect("compile op stream");
+    w.finish().expect("finish op stream");
+    eprintln!("    ({:.1} s)", start.elapsed().as_secs_f64());
+
+    let r = OpStreamFileReader::open(&out).expect("reopen op stream");
+    let h = r.header();
+    assert_eq!(h.records, written, "header record count matches writer");
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!("name:    {}", h.name);
+    println!("version: {}", h.version);
+    println!("records: {}", h.records);
+    println!("files:   {}", h.files);
+    println!("bytes:   {bytes}");
 }

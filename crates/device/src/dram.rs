@@ -151,19 +151,52 @@ impl Dram {
         Ok(())
     }
 
-    /// Reads `buf.len()` bytes at `addr`, advancing the clock.
+    /// The accounting half of a read: clock, counters, energy. Shared by
+    /// the copying and borrowing paths so both charge identically.
     // lint: hot-path
-    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<SimDuration> {
-        let len = buf.len() as u64;
+    fn charge_read(&mut self, addr: u64, len: u64) -> Result<SimDuration> {
         self.check(addr, len)?;
         let latency = self.spec.access_latency(len);
         self.clock.advance(latency);
-        buf.copy_from_slice(&self.data[addr as usize..(addr + len) as usize]);
         self.counters.reads += 1;
         self.counters.bytes_read += len;
         self.energy
             .charge("dram.active", self.spec.active_power.energy_over(latency));
         Ok(latency)
+    }
+
+    /// Reads `buf.len()` bytes at `addr`, advancing the clock.
+    // lint: hot-path
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<SimDuration> {
+        let len = buf.len() as u64;
+        let latency = self.charge_read(addr, len)?;
+        buf.copy_from_slice(&self.data[addr as usize..(addr + len) as usize]);
+        Ok(latency)
+    }
+
+    /// Reads `len` bytes at `addr` without a staging copy: charges exactly
+    /// what [`Self::read`] charges but returns a borrow of the array.
+    /// Lets metadata paths decode in place instead of memcpy-ing a whole
+    /// page to inspect a few hundred bytes.
+    // lint: hot-path
+    pub fn read_borrow(&mut self, addr: u64, len: u64) -> Result<&[u8]> {
+        self.charge_read(addr, len)?;
+        Ok(&self.data[addr as usize..(addr + len) as usize])
+    }
+
+    /// Host-side accessor: borrows `len` bytes at `addr` without charging
+    /// clock, counters, or energy. The caller must have already charged the
+    /// access (e.g. via [`Self::read_borrow`]); this exists so a flush path
+    /// can charge the read, run intervening bookkeeping that needs `&mut`
+    /// elsewhere, and then hand the bytes to another device without a
+    /// staging copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or contents are lost.
+    pub fn peek(&self, addr: u64, len: u64) -> &[u8] {
+        assert!(self.valid, "peek after contents lost");
+        &self.data[addr as usize..(addr + len) as usize]
     }
 
     /// Writes `data` at `addr`, advancing the clock. DRAM needs no erase and
@@ -177,6 +210,40 @@ impl Dram {
         self.data[addr as usize..(addr + len) as usize].copy_from_slice(data);
         self.counters.writes += 1;
         self.counters.bytes_written += len;
+        self.energy
+            .charge("dram.active", self.spec.active_power.energy_over(latency));
+        Ok(latency)
+    }
+
+    /// Charges a write of `charged_len` bytes at `addr` (clock, counters,
+    /// energy — exactly what [`Self::write`] of that length charges) but
+    /// stores only `data` at `addr + offset`. This is the in-place
+    /// sub-page update: the caller models a full-page rewrite whose other
+    /// bytes are unchanged, so storing just the changed range yields an
+    /// identical array without the page-sized copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored range falls outside the charged range.
+    // lint: hot-path
+    pub fn write_within(
+        &mut self,
+        addr: u64,
+        charged_len: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<SimDuration> {
+        assert!(
+            offset + data.len() as u64 <= charged_len,
+            "stored range escapes the charged range"
+        );
+        self.check(addr, charged_len)?;
+        let latency = self.spec.access_latency(charged_len);
+        self.clock.advance(latency);
+        let at = (addr + offset) as usize;
+        self.data[at..at + data.len()].copy_from_slice(data);
+        self.counters.writes += 1;
+        self.counters.bytes_written += charged_len;
         self.energy
             .charge("dram.active", self.spec.active_power.energy_over(latency));
         Ok(latency)

@@ -398,12 +398,12 @@ impl Flash {
         Ok(())
     }
 
-    /// Reads `buf.len()` bytes starting at `addr`, advancing the clock past
-    /// any bank-busy stall plus the read latency. Returns the total latency
-    /// experienced (stall included).
+    /// Everything a read does except deliver the bytes: stall on the busy
+    /// bank (or suspend), advance the clock, bump counters, charge energy,
+    /// and emit the span. Shared by the copying and borrowing read paths
+    /// so both charge identically.
     // lint: hot-path
-    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<SimDuration> {
-        let len = buf.len() as u64;
+    fn charge_read(&mut self, addr: u64, len: u64) -> Result<SimDuration> {
         self.check_range(addr, len)?;
         let start = self.clock.now();
         let bank = self.bank_of(addr);
@@ -428,7 +428,6 @@ impl Flash {
             }
         }
         self.clock.advance(latency);
-        buf.copy_from_slice(&self.data[addr as usize..(addr + len) as usize]);
         self.counters.reads += 1;
         self.counters.bytes_read += len;
         self.energy
@@ -442,6 +441,28 @@ impl Flash {
             bytes: len,
         });
         Ok(self.clock.now().since(start))
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`, advancing the clock past
+    /// any bank-busy stall plus the read latency. Returns the total latency
+    /// experienced (stall included).
+    // lint: hot-path
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<SimDuration> {
+        let len = buf.len() as u64;
+        let total = self.charge_read(addr, len)?;
+        buf.copy_from_slice(&self.data[addr as usize..(addr + len) as usize]);
+        Ok(total)
+    }
+
+    /// Reads `len` bytes at `addr` without a staging copy: charges exactly
+    /// what [`Self::read`] charges (stall, latency, counters, energy,
+    /// span), but hands back a borrow of the array instead of filling a
+    /// caller buffer. Metadata paths that only *decode* a few bytes of a
+    /// page use this to skip the page-sized memcpy.
+    // lint: hot-path
+    pub fn read_borrow(&mut self, addr: u64, len: u64) -> Result<&[u8]> {
+        self.charge_read(addr, len)?;
+        Ok(&self.data[addr as usize..(addr + len) as usize])
     }
 
     /// Latency a read of `len` bytes at `addr` *would* experience right now,

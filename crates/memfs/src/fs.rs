@@ -186,6 +186,14 @@ pub struct MemFs {
     /// Descriptor table, indexed directly by fd (descriptors are issued
     /// sequentially, so the table is dense).
     fds: Vec<Option<(Ino, OpenMode)>>,
+    /// Open descriptors per inode, slab-indexed by ino (inos are issued
+    /// sequentially and recycled, so the slab stays population-sized).
+    /// Kept exactly in sync with `fds` so [`Self::remove_inode`] can
+    /// invalidate a dead inode's descriptors without scanning the whole
+    /// descriptor table — that scan is O(descriptors ever issued) and
+    /// turns long replays quadratic in their delete count. The inner
+    /// vectors keep their capacity across inode recycling.
+    ino_fds: Vec<Vec<u64>>,
     free_inos: Vec<Ino>,
     next_ino: Ino,
     metrics: FsMetrics,
@@ -215,6 +223,7 @@ impl MemFs {
             policy,
             next_fd: 3,
             fds: Vec::new(),
+            ino_fds: Vec::new(),
             free_inos: Vec::new(),
             next_ino: ROOT_INO + 1,
             metrics: FsMetrics::default(),
@@ -337,6 +346,12 @@ impl MemFs {
     /// Read-modify-write of a sub-page byte range.
     // lint: hot-path
     fn rmw(&mut self, page: PageId, offset: usize, bytes: &[u8]) -> Result<()> {
+        // Buffer-resident pages (hot inode/dirent pages, recently written
+        // data) update in place: same simulated full-page RMW charge,
+        // none of the two page-sized staging copies.
+        if self.sm.modify_page_in_place(page, offset as u64, bytes)? {
+            return Ok(());
+        }
         let mut buf = self.read_page_buf(page)?;
         buf[offset..offset + bytes.len()].copy_from_slice(bytes);
         self.sm.write_page(page, &buf)?;
@@ -352,10 +367,10 @@ impl MemFs {
         if !self.sm.contains(window(0)) {
             return Ok(None);
         }
-        let page = self.read_page_buf(window(0))?;
-        let sb = Superblock::decode(&page);
-        self.put_buf(page);
-        Ok(sb)
+        match self.sm.read_page_ref(window(0))? {
+            Some(page) => Ok(Superblock::decode(page)),
+            None => Ok(None),
+        }
     }
 
     fn write_superblock(&mut self) -> Result<()> {
@@ -380,12 +395,15 @@ impl MemFs {
         (page, offset)
     }
 
+    // lint: hot-path
     fn read_inode(&mut self, ino: Ino) -> Result<Inode> {
         let (page, offset) = self.inode_loc(ino);
-        let buf = self.read_page_buf(page)?;
-        let inode = Inode::decode(&buf[offset..offset + INODE_BYTES]);
-        self.put_buf(buf);
-        Ok(inode)
+        // Decode straight from the storage borrow: same simulated charge
+        // as a full page read, none of the page-sized memcpy.
+        match self.sm.read_page_ref(page)? {
+            Some(buf) => Ok(Inode::decode(&buf[offset..offset + INODE_BYTES])),
+            None => Ok(Inode::decode(&[0u8; INODE_BYTES])),
+        }
     }
 
     fn write_inode(&mut self, ino: Ino, inode: &Inode) -> Result<()> {
@@ -443,10 +461,10 @@ impl MemFs {
 
     fn read_dirent(&mut self, dir: Ino, slot: u64) -> Result<Option<DirEntry>> {
         let (page, offset) = self.dirent_loc(dir, slot);
-        let buf = self.read_page_buf(page)?;
-        let entry = DirEntry::decode(&buf[offset..offset + DIRENT_BYTES]);
-        self.put_buf(buf);
-        Ok(entry)
+        match self.sm.read_page_ref(page)? {
+            Some(buf) => Ok(DirEntry::decode(&buf[offset..offset + DIRENT_BYTES])),
+            None => Ok(DirEntry::decode(&[0u8; DIRENT_BYTES])),
+        }
     }
 
     fn write_dirent_slot(&mut self, dir: Ino, slot: u64, bytes: &[u8; DIRENT_BYTES]) -> Result<()> {
@@ -695,6 +713,10 @@ impl MemFs {
             self.fds.resize(fd as usize + 1, None);
         }
         self.fds[fd as usize] = Some((ino, mode));
+        if self.ino_fds.len() <= ino as usize {
+            self.ino_fds.resize_with(ino as usize + 1, Vec::new);
+        }
+        self.ino_fds[ino as usize].push(fd);
         fd
     }
 
@@ -706,7 +728,12 @@ impl MemFs {
     pub fn close(&mut self, fd: u64) -> Result<()> {
         match self.fds.get_mut(fd as usize) {
             Some(slot @ Some(_)) => {
-                *slot = None;
+                let (ino, _) = slot.take().expect("matched Some");
+                if let Some(open) = self.ino_fds.get_mut(ino as usize) {
+                    if let Some(pos) = open.iter().position(|&f| f == fd) {
+                        open.swap_remove(pos);
+                    }
+                }
                 Ok(())
             }
             _ => Err(FsError::BadFd),
@@ -799,10 +826,61 @@ impl MemFs {
             let page_idx = abs / ps;
             let within = (abs % ps) as usize;
             let chunk = ((ps as usize) - within).min(want - pos);
-            let page_buf = self.read_page_buf(file_page(ino, page_idx))?;
-            buf[pos..pos + chunk].copy_from_slice(&page_buf[within..within + chunk]);
-            self.put_buf(page_buf);
+            if within == 0 && chunk == ps as usize {
+                // Whole-page chunk: land it straight in the caller's
+                // buffer — same storage read, no staging copy.
+                self.sm
+                    .read_page(file_page(ino, page_idx), &mut buf[pos..pos + chunk])?;
+            } else {
+                match self.sm.read_page_ref(file_page(ino, page_idx))? {
+                    Some(page_buf) => {
+                        buf[pos..pos + chunk].copy_from_slice(&page_buf[within..within + chunk]);
+                    }
+                    None => buf[pos..pos + chunk].fill(0),
+                }
+            }
             pos += chunk;
+        }
+        self.metrics.reads += 1;
+        self.metrics.bytes_read += want as u64;
+        self.recorder.emit(|| Span {
+            kind: EventKind::FsRead,
+            start,
+            end: self.sm.now(),
+            energy: Energy::ZERO,
+            pages: (want as u64).div_ceil(self.page_size().max(1)),
+            bytes: want as u64,
+        });
+        Ok(want)
+    }
+
+    /// Reads up to `len` bytes at `offset` without delivering them:
+    /// charges exactly what [`Self::read`] into a `len`-byte buffer
+    /// charges — same page reads, counters, and span — but never copies a
+    /// byte. Trace replay drives reads whose contents nobody inspects;
+    /// this is that path, minus the wasted memcpy per page.
+    ///
+    /// # Errors
+    ///
+    /// Descriptor and storage errors.
+    // lint: hot-path
+    pub fn read_discard(&mut self, fd: u64, offset: u64, len: u64) -> Result<usize> {
+        let start = self.sm.now();
+        let ino = self.fd_ino(fd, false)?;
+        let inode = self.read_inode(ino)?;
+        if offset >= inode.size {
+            return Ok(0);
+        }
+        let ps = self.page_size();
+        let want = len.min(inode.size - offset) as usize;
+        if want > 0 {
+            // Both the whole-page and sub-page chunks of `read` charge one
+            // full-page storage read; the batched storage entry point
+            // charges the same page sequence with one call.
+            let first_idx = offset / ps;
+            let last_idx = (offset + want as u64 - 1) / ps;
+            self.sm
+                .read_pages_discard(file_page(ino, first_idx), last_idx - first_idx + 1)?;
         }
         self.metrics.reads += 1;
         self.metrics.bytes_read += want as u64;
@@ -938,10 +1016,14 @@ impl MemFs {
         }
         self.write_inode(ino, &Inode::decode(&[0u8; INODE_BYTES]))?;
         self.free_inos.push(ino);
-        // Any descriptor pointing at the dead inode becomes invalid.
-        for slot in &mut self.fds {
-            if matches!(slot, Some((i, _)) if *i == ino) {
-                *slot = None;
+        // Any descriptor pointing at the dead inode becomes invalid. The
+        // per-ino list makes this O(open descriptors of this inode); the
+        // drained vector keeps its capacity for the ino's next tenant.
+        if let Some(open) = self.ino_fds.get_mut(ino as usize) {
+            for fd in open.drain(..) {
+                if let Some(slot) = self.fds.get_mut(fd as usize) {
+                    *slot = None;
+                }
             }
         }
         Ok(())
@@ -1079,6 +1161,7 @@ impl MemFs {
     /// Simulates battery death.
     pub fn crash(&mut self) {
         self.fds.clear();
+        self.ino_fds.clear();
         self.dirs.clear();
         self.sm.crash();
     }

@@ -144,9 +144,18 @@ impl Power {
     }
 
     /// Energy consumed drawing this power for duration `d`.
+    // lint: hot-path
     pub fn energy_over(self, d: SimDuration) -> Energy {
-        // µW × ns = femtojoules; divide by 1e6 for nanojoules. Use u128 to
-        // avoid overflow for long idle spans.
+        // µW × ns = femtojoules; divide by 1e6 for nanojoules. Every
+        // per-operation charge (microsecond spans, milliwatt draws) fits
+        // the u64 fast path, where the constant division strength-reduces
+        // to a multiply; 128-bit division lowers to a libcall (__udivti3)
+        // that would otherwise run several times per replayed op. The
+        // quotient is identical on both paths whenever the product fits.
+        if let Some(fj) = self.0.checked_mul(d.as_nanos()) {
+            return Energy(fj / 1_000_000);
+        }
+        // Slow path: only centuries-long idle spans land here.
         let fj = self.0 as u128 * d.as_nanos() as u128;
         let nj = fj / 1_000_000;
         Energy(u64::try_from(nj).unwrap_or(u64::MAX))
@@ -161,21 +170,48 @@ impl core::ops::Add for Power {
 }
 
 /// Named per-component energy counters.
+///
+/// A device ledger holds a handful of fixed component names, so the
+/// accounts live in a name-sorted `Vec` rather than a tree: lookups are a
+/// short binary search over contiguous memory, and a last-hit index makes
+/// the common charge-same-component-again case a single string compare.
 #[derive(Debug, Clone, Default)]
 pub struct EnergyLedger {
-    accounts: BTreeMap<String, Energy>,
+    /// `(component, energy)` pairs kept sorted by component name, so
+    /// iteration and report order match the old map-based layout.
+    accounts: Vec<(String, Energy)>,
+    /// Index of the most recently charged account (a hint, not an
+    /// invariant: stale values only cost one failed compare).
+    last: usize,
+    /// Running sum of every account, maintained by [`Self::charge`] so
+    /// [`Self::total`] is a scalar read: the battery-drain path queries
+    /// the total before every replayed operation, and walking the
+    /// accounts there would put a traversal on the hot path.
+    total: Energy,
 }
 
 impl ToReport for EnergyLedger {
     fn to_report(&self) -> Value {
-        Value::object(vec![("accounts", self.accounts.to_report())])
+        let accounts = Value::object(
+            self.accounts
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.to_report()))
+                .collect(),
+        );
+        Value::object(vec![("accounts", accounts)])
     }
 }
 
 impl FromReport for EnergyLedger {
     fn from_report(v: &Value) -> Result<Self, ReportError> {
+        let map: BTreeMap<String, Energy> = field(v, "accounts")?;
+        let total = map.values().copied().sum();
+        // BTreeMap iteration is name-ordered, matching the Vec invariant.
+        let accounts: Vec<(String, Energy)> = map.into_iter().collect();
         Ok(EnergyLedger {
-            accounts: field(v, "accounts")?,
+            accounts,
+            last: 0,
+            total,
         })
     }
 }
@@ -187,16 +223,33 @@ impl EnergyLedger {
     }
 
     /// Charges `e` to `component`, creating the account on first use.
+    // lint: hot-path
     pub fn charge(&mut self, component: &str, e: Energy) {
         if e == Energy::ZERO {
             return;
         }
-        // Look up by `&str` first: charging is on the per-access device
-        // path, and `entry` would allocate the key string every call.
-        if let Some(acct) = self.accounts.get_mut(component) {
-            *acct = acct.saturating_add(e);
-        } else {
-            self.accounts.insert(component.to_owned(), e);
+        self.total = self.total.saturating_add(e);
+        if let Some((name, acct)) = self.accounts.get_mut(self.last) {
+            if name == component {
+                *acct = acct.saturating_add(e);
+                return;
+            }
+        }
+        match self
+            .accounts
+            .binary_search_by(|(k, _)| k.as_str().cmp(component))
+        {
+            Ok(i) => {
+                self.accounts[i].1 = self.accounts[i].1.saturating_add(e);
+                self.last = i;
+            }
+            Err(i) => {
+                // lint: allow(H1): first charge for a component allocates
+                // its key string once per ledger lifetime; steady-state
+                // charges hit the index hint or the binary search above.
+                self.accounts.insert(i, (component.to_owned(), e));
+                self.last = i;
+            }
         }
     }
 
@@ -208,14 +261,15 @@ impl EnergyLedger {
     /// Energy charged to `component` so far (zero for unknown components).
     pub fn component(&self, component: &str) -> Energy {
         self.accounts
-            .get(component)
-            .copied()
+            .binary_search_by(|(k, _)| k.as_str().cmp(component))
+            .map(|i| self.accounts[i].1)
             .unwrap_or(Energy::ZERO)
     }
 
-    /// Total energy across all components.
+    /// Total energy across all components (a maintained scalar, not a
+    /// walk over the accounts).
     pub fn total(&self) -> Energy {
-        self.accounts.values().copied().sum()
+        self.total
     }
 
     /// Iterates over `(component, energy)` pairs in name order.

@@ -145,18 +145,25 @@ impl StorageManager {
         let flash = Flash::new(cfg.flash.clone(), clock.clone());
         let dram = Dram::new(cfg.dram.clone(), clock.clone());
         let now = clock.now();
+        // Scratch capacity is claimed here, not on first use: the first
+        // watermark flush or GC pass runs mid-replay, inside the
+        // zero-allocation steady-state window the alloc-guard pins.
+        let mut pool = PagePool::new(cfg.page_size as usize);
+        pool.prewarm(4);
+        let buffer_frames = cfg.buffer_frames();
+        let slots = cfg.slots_per_segment();
         StorageManager {
-            buffer: WriteBuffer::new(cfg.buffer_frames()),
+            buffer: WriteBuffer::new(buffer_frames),
             map: PageMap::with_dense_pages(cfg.dense_map_pages),
-            pool: PagePool::new(cfg.page_size as usize),
+            pool,
             wear_spread: None,
             metrics: StorageMetrics::new(now),
             recorder: Recorder::disabled(),
             open_write: None,
             open_cold: None,
-            pending_tombstones: Vec::new(),
-            flush_scratch: Vec::new(),
-            live_scratch: Vec::new(),
+            pending_tombstones: Vec::with_capacity(4 * slots.max(64)),
+            flush_scratch: Vec::with_capacity(buffer_frames),
+            live_scratch: Vec::with_capacity(slots),
             crashed: false,
             crash_buffered: Vec::new(),
             crash_pending_tombs: Vec::new(),
@@ -387,6 +394,56 @@ impl StorageManager {
         Ok(())
     }
 
+    /// Sub-page read-modify-write of a DRAM-resident page without the
+    /// staging copy. Charges exactly what the two-call sequence
+    /// `read_page(page)` + `write_page(page, modified)` charges when the
+    /// page sits in the write buffer — full-page DRAM read and write
+    /// latency, energy, and counters — but stores only the changed bytes:
+    /// the unmodified remainder of a full-page rewrite is already in the
+    /// frame. Returns `Ok(false)` without charging anything when the page
+    /// is not buffer-resident (or the buffer is write-through); the caller
+    /// falls back to the copying path.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Crashed`] after an unrecovered battery death, or a
+    /// propagated device error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte range crosses the page boundary.
+    // lint: hot-path
+    pub fn modify_page_in_place(
+        &mut self,
+        page: PageId,
+        offset: u64,
+        bytes: &[u8],
+    ) -> Result<bool> {
+        assert!(
+            offset + bytes.len() as u64 <= self.cfg.page_size,
+            "range crosses page boundary"
+        );
+        self.check_alive()?;
+        let Some(Location::Dram(frame)) = self.map.get(page) else {
+            return Ok(false);
+        };
+        let ps = self.cfg.page_size;
+        let addr = self.frame_addr(frame);
+        // The read half of the RMW: full-page charge, no copy out.
+        let _ = self.dram.read_borrow(addr, ps)?;
+        self.metrics.reads_from_dram += 1;
+        // The write half, mirroring write_page's buffer-hit branch.
+        self.metrics.pages_written += 1;
+        self.metrics.bytes_written += ps;
+        let now = self.now();
+        let touched = self.buffer.touch(page, now);
+        debug_assert_eq!(touched, frame, "map and buffer disagree on the frame");
+        self.dram.write_within(addr, ps, offset, bytes)?;
+        self.metrics.overwrites_absorbed += 1;
+        self.update_gauges();
+        Ok(true)
+    }
+
     /// Reads one page into `buf` (length must equal the page size).
     /// Unwritten pages read as zeros.
     ///
@@ -418,6 +475,69 @@ impl StorageManager {
             None => {
                 buf.fill(0);
                 self.metrics.hole_reads += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one page without a staging copy: charges exactly what
+    /// [`Self::read_page`] charges (device latency, energy, counters) but
+    /// returns a borrow of the backing array instead of filling a caller
+    /// buffer. `None` means the page is a hole (all zeros); the hole read
+    /// is still counted. Metadata paths that decode a few bytes of a page
+    /// use this to skip the page-sized memcpy.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Crashed`] after an unrecovered battery death, or a
+    /// propagated device error.
+    // lint: hot-path
+    pub fn read_page_ref(&mut self, page: PageId) -> Result<Option<&[u8]>> {
+        self.check_alive()?;
+        let ps = self.cfg.page_size;
+        match self.map.get(page) {
+            Some(Location::Dram(frame)) => {
+                let data = self.dram.read_borrow(self.frame_addr(frame), ps)?;
+                self.metrics.reads_from_dram += 1;
+                Ok(Some(data))
+            }
+            Some(Location::Flash(addr)) => {
+                let data = self.flash.read_borrow(addr, ps)?;
+                self.metrics.reads_from_flash += 1;
+                Ok(Some(data))
+            }
+            None => {
+                self.metrics.hole_reads += 1;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Batch entry point for replay-style reads whose data nobody
+    /// inspects: charges `count` consecutive pages exactly as
+    /// [`Self::read_page_ref`] of each would — device clock, counters,
+    /// energy, and hit metrics, in the same order — with one call and one
+    /// liveness check per batch, and no borrow or copy formed at all.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Crashed`] after an unrecovered battery death, or a
+    /// propagated device error.
+    // lint: hot-path
+    pub fn read_pages_discard(&mut self, first: PageId, count: u64) -> Result<()> {
+        self.check_alive()?;
+        let ps = self.cfg.page_size;
+        for page in first..first + count {
+            match self.map.get(page) {
+                Some(Location::Dram(frame)) => {
+                    self.dram.read_borrow(self.frame_addr(frame), ps)?;
+                    self.metrics.reads_from_dram += 1;
+                }
+                Some(Location::Flash(addr)) => {
+                    self.flash.read_borrow(addr, ps)?;
+                    self.metrics.reads_from_flash += 1;
+                }
+                None => self.metrics.hole_reads += 1,
             }
         }
         Ok(())
@@ -613,20 +733,43 @@ impl StorageManager {
         let start = self.now();
         let e0 = self.span_energy_mark();
         let mut flushed = 0u64;
-        // Early `?` returns drop the scratch buffer instead of recycling
-        // it — errors here (no space, device death) are terminal anyway.
-        let mut data = self.pool.take();
+        let ps = self.cfg.page_size;
         for &page in pages {
             let Some(frame) = self.buffer.frame_of(page) else {
                 continue; // already flushed or freed
             };
-            self.dram.read(self.frame_addr(frame), &mut data)?;
-            self.flush_data_to_flash(page, &data, self.map.get(page))?;
+            let frame_addr = self.frame_addr(frame);
+            match self.cfg.placement {
+                Placement::LogStructured => {
+                    // Charge the DRAM read up front (borrow discarded), run
+                    // the allocation — which may garbage-collect — and only
+                    // then hand the frame's bytes straight to the flash
+                    // program. Same charge sequence as read-into-scratch
+                    // followed by `flush_data_to_flash`, minus the copy.
+                    self.dram.read_borrow(frame_addr, ps)?;
+                    let seq = self.map.next_seq();
+                    let (seg, addr) = self.append_slot(SegClass::Write, SlotMeta { page, seq })?;
+                    self.flash
+                        .program_async(addr, self.dram.peek(frame_addr, ps))?;
+                    self.ckpt.dirtied[seg] = true;
+                    self.map.set(page, Location::Flash(addr));
+                }
+                Placement::InPlace => {
+                    // In-place flush needs read-modify-write staging; keep
+                    // the copying path.
+                    let mut data = self.pool.take();
+                    let r = match self.dram.read(frame_addr, &mut data) {
+                        Ok(_) => self.flush_inplace(page, &data, self.map.get(page)),
+                        Err(e) => Err(e.into()),
+                    };
+                    self.pool.put(data);
+                    r?;
+                }
+            }
             self.buffer.remove(page);
             self.metrics.user_flash_pages += 1;
             flushed += 1;
         }
-        self.pool.put(data);
         if flushed > 0 {
             self.recorder.emit(|| Span {
                 kind: EventKind::StorageFlush,

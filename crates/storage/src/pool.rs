@@ -49,6 +49,15 @@ impl PagePool {
         }
     }
 
+    /// Stocks the pool with `n` fresh buffers up front, so the first
+    /// taker on a hot path (first flush, first GC pass) recycles instead
+    /// of allocating.
+    pub fn prewarm(&mut self, n: usize) {
+        while self.bufs.len() < n {
+            self.bufs.push(vec![0u8; self.page_size]);
+        }
+    }
+
     /// Returns a buffer to the pool. Buffers of the wrong size (callers
     /// that truncated or extended) are dropped rather than recycled.
     pub fn put(&mut self, buf: Vec<u8>) {

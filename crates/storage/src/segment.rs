@@ -174,11 +174,19 @@ impl SegmentTable {
             base_addr,
             block_bytes,
             page_size,
-            pending_erase: Vec::new(),
+            // Sized up front so steady-state GC/erase churn never grows
+            // them: every segment can have at most one pending erase, and
+            // the tombstone pool is stocked with ready batches (a batch
+            // carries at most one record per victim slot).
+            pending_erase: Vec::with_capacity(count),
             dead_copies: DenseIndex::new(crate::map::DEFAULT_DENSE_PAGES),
             free_count: count,
             retired_count: 0,
-            tomb_pool: Vec::new(),
+            // A tombstone slot holds page_size / 16 records (RECORD_BYTES
+            // in the manager), which bounds any batch drained into it.
+            tomb_pool: (0..2)
+                .map(|_| Vec::with_capacity((page_size / 16).max(16) as usize))
+                .collect(),
         }
     }
 

@@ -12,10 +12,12 @@ mod mail_spool;
 mod office;
 mod software_dev;
 
+use crate::io::OpStreamWriter;
 use crate::lifetime::LifetimeModel;
 use crate::record::{FileId, FileOp, Trace};
 use ssmc_sim::rng::Zipf;
 use ssmc_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use std::io::{self, Seek, Write};
 // lint: allow(D2): the engine's file table is keyed-access only; see
 // the directive on the `files` field for the determinism argument.
 use std::collections::HashMap;
@@ -38,14 +40,34 @@ pub enum Workload {
 
 impl core::fmt::Display for Workload {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let s = match self {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl Workload {
+    /// Every generator profile, in a stable order.
+    pub const ALL: [Workload; 5] = [
+        Workload::Bsd,
+        Workload::Office,
+        Workload::SoftwareDev,
+        Workload::Database,
+        Workload::MailSpool,
+    ];
+
+    /// The kebab-case profile name (what `Display` prints).
+    pub fn name(self) -> &'static str {
+        match self {
             Workload::Bsd => "bsd",
             Workload::Office => "office",
             Workload::SoftwareDev => "software-dev",
             Workload::Database => "database",
             Workload::MailSpool => "mail-spool",
-        };
-        write!(f, "{s}")
+        }
+    }
+
+    /// Parses a profile name as printed by `Display`.
+    pub fn parse(s: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == s)
     }
 }
 
@@ -167,8 +189,7 @@ impl GeneratorConfig {
         self
     }
 
-    /// Generates the trace.
-    pub fn generate(&self) -> Trace {
+    fn profile(&self) -> Profile {
         let mut profile = match self.workload {
             Workload::Bsd => bsd::profile(),
             Workload::Office => office::profile(),
@@ -179,7 +200,109 @@ impl GeneratorConfig {
         if let Some(l) = self.lifetime_override {
             profile.lifetime = l;
         }
-        Engine::new(self, profile).run()
+        profile
+    }
+
+    /// Generates the trace.
+    pub fn generate(&self) -> Trace {
+        let profile = self.profile();
+        let sink = TraceSink {
+            trace: Trace::new(profile.name),
+        };
+        let mut trace = Engine::new(self, profile, sink).run().trace;
+        // An engine step can emit several records (create = Create +
+        // Write, plus cap-eviction deletes), so the last step may
+        // overshoot; trim to the requested count.
+        trace.records.truncate(self.ops);
+        trace
+    }
+
+    /// Generates straight into a compiled op-stream writer, never
+    /// materialising a `Vec<TraceRecord>`: each operation is encoded and
+    /// written the moment it is drawn, so million-op traces cost the
+    /// writer's buffer plus the engine's live-file table. Emits exactly
+    /// the records [`Self::generate`] would — the same seed produces a
+    /// byte-identical stream to compiling the in-memory trace.
+    ///
+    /// Returns the number of records written (`self.ops`, unless the
+    /// writer failed).
+    ///
+    /// # Errors
+    ///
+    /// The first write error from the underlying sink, if any.
+    pub fn generate_into<W: Write + Seek>(&self, w: &mut OpStreamWriter<W>) -> io::Result<u64> {
+        let profile = self.profile();
+        let sink = Engine::new(self, profile, WriterSink::new(w, self.ops)).run();
+        if let Some(e) = sink.error {
+            return Err(e);
+        }
+        Ok(sink.emitted.min(sink.cap) as u64)
+    }
+}
+
+/// Where the engine sends each drawn operation. The engine only ever
+/// appends and asks how many records exist so far; abstracting that pair
+/// lets the same stepping logic fill an in-memory [`Trace`] or stream
+/// records straight to disk.
+trait OpSink {
+    fn emit(&mut self, at: SimTime, op: FileOp);
+    /// Records emitted so far — **including** any past the requested cap,
+    /// so the run loop's termination test sees the same counts on both
+    /// sink paths.
+    fn emitted(&self) -> usize;
+}
+
+/// Collects records into an in-memory trace (the [`GeneratorConfig::generate`] path).
+struct TraceSink {
+    trace: Trace,
+}
+
+impl OpSink for TraceSink {
+    fn emit(&mut self, at: SimTime, op: FileOp) {
+        self.trace.push(at, op);
+    }
+
+    fn emitted(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+/// Forwards records to an [`OpStreamWriter`]. Counts every emit but only
+/// forwards the first `cap`: the in-memory path truncates its overshoot
+/// after the run, and this sink must drop exactly the same tail to keep
+/// the two paths byte-identical. The first write error is latched and
+/// ends forwarding; the engine still runs to completion (its RNG draws
+/// are already spent) and the error surfaces from `generate_into`.
+struct WriterSink<'w, W: Write + Seek> {
+    w: &'w mut OpStreamWriter<W>,
+    cap: usize,
+    emitted: usize,
+    error: Option<io::Error>,
+}
+
+impl<'w, W: Write + Seek> WriterSink<'w, W> {
+    fn new(w: &'w mut OpStreamWriter<W>, cap: usize) -> Self {
+        WriterSink {
+            w,
+            cap,
+            emitted: 0,
+            error: None,
+        }
+    }
+}
+
+impl<W: Write + Seek> OpSink for WriterSink<'_, W> {
+    fn emit(&mut self, at: SimTime, op: FileOp) {
+        if self.emitted < self.cap && self.error.is_none() {
+            if let Err(e) = self.w.push(at, &op) {
+                self.error = Some(e);
+            }
+        }
+        self.emitted += 1;
+    }
+
+    fn emitted(&self) -> usize {
+        self.emitted
     }
 }
 
@@ -187,12 +310,12 @@ struct LiveFile {
     size: u64,
 }
 
-struct Engine<'a> {
+struct Engine<'a, S: OpSink> {
     cfg: &'a GeneratorConfig,
     profile: Profile,
     rng: SimRng,
     now: SimTime,
-    trace: Trace,
+    sink: S,
     next_id: FileId,
     /// Most-recent-first list of live file ids (recency rank order).
     recency: Vec<FileId>,
@@ -204,12 +327,12 @@ struct Engine<'a> {
     deaths: EventQueue<FileId>,
 }
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a GeneratorConfig, profile: Profile) -> Self {
+impl<'a, S: OpSink> Engine<'a, S> {
+    fn new(cfg: &'a GeneratorConfig, profile: Profile, sink: S) -> Self {
         Engine {
             rng: SimRng::seed_from_u64(cfg.seed),
             now: SimTime::ZERO,
-            trace: Trace::new(profile.name),
+            sink,
             next_id: 1,
             recency: Vec::new(),
             // lint: allow(D2): construction of the keyed-only table
@@ -258,7 +381,7 @@ impl<'a> Engine<'a> {
         if let Some(lf) = self.files.remove(&file) {
             self.live_bytes -= lf.size;
             self.recency.retain(|&f| f != file);
-            self.trace.push(self.now, FileOp::Delete { file });
+            self.sink.emit(self.now, FileOp::Delete { file });
         }
     }
 
@@ -270,8 +393,8 @@ impl<'a> Engine<'a> {
         }
         let file = self.next_id;
         self.next_id += 1;
-        self.trace.push(self.now, FileOp::Create { file });
-        self.trace.push(
+        self.sink.emit(self.now, FileOp::Create { file });
+        self.sink.emit(
             self.now,
             FileOp::Write {
                 file,
@@ -296,7 +419,7 @@ impl<'a> Engine<'a> {
         let size = self.files[&file].size;
         let chunk = self.sample_chunk();
         if append {
-            self.trace.push(
+            self.sink.emit(
                 self.now,
                 FileOp::Write {
                     file,
@@ -314,8 +437,8 @@ impl<'a> Engine<'a> {
                 0
             };
             let len = chunk.min(size.max(1));
-            self.trace
-                .push(self.now, FileOp::Write { file, offset, len });
+            self.sink
+                .emit(self.now, FileOp::Write { file, offset, len });
         }
         self.touch(file);
     }
@@ -337,8 +460,8 @@ impl<'a> Engine<'a> {
             };
             (offset, chunk.max(1))
         };
-        self.trace
-            .push(self.now, FileOp::Read { file, offset, len });
+        self.sink
+            .emit(self.now, FileOp::Read { file, offset, len });
         self.touch(file);
     }
 
@@ -348,8 +471,8 @@ impl<'a> Engine<'a> {
         };
         let size = self.files[&file].size;
         let new_len = size / 2;
-        self.trace
-            .push(self.now, FileOp::Truncate { file, len: new_len });
+        self.sink
+            .emit(self.now, FileOp::Truncate { file, len: new_len });
         self.live_bytes -= size - new_len;
         self.files.get_mut(&file).expect("live").size = new_len;
     }
@@ -359,7 +482,7 @@ impl<'a> Engine<'a> {
             self.create_default();
             return;
         };
-        self.trace.push(self.now, FileOp::Stat { file });
+        self.sink.emit(self.now, FileOp::Stat { file });
         self.touch(file);
     }
 
@@ -370,7 +493,7 @@ impl<'a> Engine<'a> {
         };
         let to = self.next_id;
         self.next_id += 1;
-        self.trace.push(self.now, FileOp::Rename { file, to });
+        self.sink.emit(self.now, FileOp::Rename { file, to });
         // The data lives on under the new id; the old id retires. The
         // stale death event becomes a no-op (delete ignores dead ids), so
         // the file gets a fresh lifetime draw under its new name.
@@ -389,7 +512,7 @@ impl<'a> Engine<'a> {
         self.create_file(size);
     }
 
-    fn run(mut self) -> Trace {
+    fn run(mut self) -> S {
         // Pre-populate the working set.
         for _ in 0..self.profile.initial_files {
             self.create_default();
@@ -413,7 +536,7 @@ impl<'a> Engine<'a> {
             weights.rename,
             weights.sync,
         ];
-        while self.trace.len() < self.cfg.ops {
+        while self.sink.emitted() < self.cfg.ops {
             let dt = SimDuration::from_secs_f64(
                 self.rng
                     .exponential(self.cfg.mean_interarrival.as_secs_f64()),
@@ -435,11 +558,10 @@ impl<'a> Engine<'a> {
                 4 => self.op_truncate(),
                 5 => self.op_stat(),
                 6 => self.op_rename(),
-                _ => self.trace.push(self.now, FileOp::Sync),
+                _ => self.sink.emit(self.now, FileOp::Sync),
             }
         }
-        self.trace.records.truncate(self.cfg.ops);
-        self.trace
+        self.sink
     }
 }
 
@@ -462,6 +584,43 @@ mod tests {
             let t = gen(w);
             assert_eq!(t.len(), 5_000, "{w}");
             assert_eq!(t.stats().total_ops(), 5_000, "{w}");
+        }
+    }
+
+    #[test]
+    fn generate_into_matches_generate_byte_for_byte() {
+        // The streaming path must be indistinguishable from generating in
+        // memory and compiling: same records in, same container bytes out,
+        // including the truncate-at-cap tail behaviour.
+        for w in [
+            Workload::Bsd,
+            Workload::Office,
+            Workload::SoftwareDev,
+            Workload::Database,
+            Workload::MailSpool,
+        ] {
+            let cfg = GeneratorConfig::new(w).with_ops(3_000);
+            let trace = cfg.generate();
+            let via_memory = {
+                let stream = crate::stream::OpStream::compile(&trace);
+                let mut buf = io::Cursor::new(Vec::new());
+                let mut writer = OpStreamWriter::new(&mut buf, stream.name()).expect("header");
+                let mut cursor = stream.cursor();
+                while let Some(r) = cursor.next_record() {
+                    writer.push(r.at, &r.op).expect("push");
+                }
+                writer.finish().expect("finish");
+                buf.into_inner()
+            };
+            let via_stream = {
+                let mut buf = io::Cursor::new(Vec::new());
+                let mut writer = OpStreamWriter::new(&mut buf, &trace.name).expect("header");
+                let n = cfg.generate_into(&mut writer).expect("generate_into");
+                assert_eq!(n, 3_000, "{w}");
+                writer.finish().expect("finish");
+                buf.into_inner()
+            };
+            assert_eq!(via_memory, via_stream, "{w} container bytes diverge");
         }
     }
 

@@ -30,9 +30,15 @@ pub mod io;
 pub mod lifetime;
 pub mod record;
 pub mod replay;
+pub mod stream;
 
 pub use analyze::TraceAnalysis;
 pub use generator::{GeneratorConfig, Workload};
+pub use io::{OpStreamFileReader, OpStreamWriter, StreamHeader, StreamSummary};
 pub use lifetime::LifetimeModel;
 pub use record::{FileId, FileOp, OpKind, Trace, TraceRecord, TraceStats};
-pub use replay::{replay, ReplayReport, TraceTarget};
+pub use replay::{
+    coalesce_key, replay, replay_stream, BatchStats, BatchTarget, ReplayReport, TraceTarget,
+    BATCH_ERROR, MAX_BATCH,
+};
+pub use stream::{kind_code, OpStream, OpStreamCursor};

@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 pub type FileId = u64;
 
 /// One file-level operation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FileOp {
     /// Create an empty file.
     Create {
@@ -281,7 +281,7 @@ impl FromReport for OpKind {
 }
 
 /// A timestamped operation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Arrival instant on the simulated timeline.
     pub at: SimTime,

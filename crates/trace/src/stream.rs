@@ -1,0 +1,395 @@
+//! Compiled op streams: fixed-width trace records for streaming replay.
+//!
+//! A [`Trace`] is a `Vec` of enum records — fine for the experiments, but
+//! heavy for million-op replays: every record is pattern-matched through
+//! a branchy layout and the whole trace must sit in memory as structured
+//! Rust values. An [`OpStream`] compiles the same sequence into dense
+//! fixed-width records (four 64-bit words each) with the file identifiers
+//! interned into a side table, so replay walks a flat word array with an
+//! allocation-free cursor and million-op traces stream from disk without
+//! ever materialising a `Vec<TraceRecord>` (see [`crate::io`] for the
+//! on-disk container).
+//!
+//! # Record layout
+//!
+//! Each record is [`RECORD_WORDS`] little-endian `u64` words:
+//!
+//! | word | contents                                                    |
+//! |------|-------------------------------------------------------------|
+//! | 0    | arrival instant, nanoseconds since the simulation epoch     |
+//! | 1    | op kind (bits 32..40) · interned file index (bits 0..32)    |
+//! | 2    | byte offset (write/read), new length (truncate), interned   |
+//! |      | rename-target index (rename), zero otherwise                |
+//! | 3    | length in bytes (write/read), zero otherwise                |
+//!
+//! Kinds are numbered in [`OpKind::ALL`] order. Operations without a file
+//! (sync) carry [`NO_FILE`] as their index. The compiled form is lossless:
+//! decoding reproduces the original records bit for bit, which the
+//! round-trip tests pin for every generator.
+
+use crate::record::{FileId, FileOp, OpKind, Trace, TraceRecord};
+use ssmc_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Words per compiled record.
+pub const RECORD_WORDS: usize = 4;
+
+/// Bytes per compiled record.
+pub const RECORD_BYTES: usize = RECORD_WORDS * 8;
+
+/// File-index sentinel for operations that target no file (sync).
+pub const NO_FILE: u32 = u32::MAX;
+
+/// Numeric codes of the eight op kinds, in [`OpKind::ALL`] order.
+const KIND_CREATE: u64 = 0;
+const KIND_WRITE: u64 = 1;
+const KIND_READ: u64 = 2;
+const KIND_DELETE: u64 = 3;
+const KIND_TRUNCATE: u64 = 4;
+const KIND_SYNC: u64 = 5;
+const KIND_STAT: u64 = 6;
+const KIND_RENAME: u64 = 7;
+
+/// Interns trace file ids into dense `u32` indices, preserving first-use
+/// order so compilation is deterministic.
+#[derive(Debug, Default)]
+pub(crate) struct FileTable {
+    by_id: BTreeMap<FileId, u32>,
+    ids: Vec<FileId>,
+}
+
+impl FileTable {
+    pub(crate) fn intern(&mut self, id: FileId) -> u32 {
+        if let Some(&idx) = self.by_id.get(&id) {
+            return idx;
+        }
+        let idx = u32::try_from(self.ids.len()).expect("more than 2^32 distinct files");
+        assert!(idx != NO_FILE, "file table full");
+        self.by_id.insert(id, idx);
+        self.ids.push(id);
+        idx
+    }
+
+    pub(crate) fn ids(&self) -> &[FileId] {
+        &self.ids
+    }
+
+    pub(crate) fn into_ids(self) -> Vec<FileId> {
+        self.ids
+    }
+}
+
+/// Encodes one operation into its four-word record.
+pub(crate) fn encode_record(at: SimTime, op: &FileOp, table: &mut FileTable) -> [u64; RECORD_WORDS] {
+    let (kind, idx, w2, w3) = match *op {
+        FileOp::Create { file } => (KIND_CREATE, table.intern(file), 0, 0),
+        FileOp::Write { file, offset, len } => (KIND_WRITE, table.intern(file), offset, len),
+        FileOp::Read { file, offset, len } => (KIND_READ, table.intern(file), offset, len),
+        FileOp::Delete { file } => (KIND_DELETE, table.intern(file), 0, 0),
+        FileOp::Truncate { file, len } => (KIND_TRUNCATE, table.intern(file), len, 0),
+        FileOp::Sync => (KIND_SYNC, NO_FILE, 0, 0),
+        FileOp::Stat { file } => (KIND_STAT, table.intern(file), 0, 0),
+        FileOp::Rename { file, to } => {
+            let from_idx = table.intern(file);
+            (KIND_RENAME, from_idx, u64::from(table.intern(to)), 0)
+        }
+    };
+    [at.as_nanos(), (kind << 32) | u64::from(idx), w2, w3]
+}
+
+/// Decodes one four-word record against the interned file table.
+///
+/// # Panics
+///
+/// Panics on an unknown kind code or an out-of-range file index — both
+/// only possible on a corrupt stream, and the disk loader surfaces
+/// corruption as an error before handing records to replay.
+// lint: hot-path
+pub(crate) fn decode_record(w: &[u64], file_ids: &[FileId]) -> TraceRecord {
+    let at = SimTime::from_nanos(w[0]);
+    let kind = w[1] >> 32;
+    let idx = (w[1] & u64::from(u32::MAX)) as u32;
+    let file = |idx: u32| file_ids[idx as usize];
+    let op = match kind {
+        KIND_CREATE => FileOp::Create { file: file(idx) },
+        KIND_WRITE => FileOp::Write {
+            file: file(idx),
+            offset: w[2],
+            len: w[3],
+        },
+        KIND_READ => FileOp::Read {
+            file: file(idx),
+            offset: w[2],
+            len: w[3],
+        },
+        KIND_DELETE => FileOp::Delete { file: file(idx) },
+        KIND_TRUNCATE => FileOp::Truncate {
+            file: file(idx),
+            len: w[2],
+        },
+        KIND_SYNC => FileOp::Sync,
+        KIND_STAT => FileOp::Stat { file: file(idx) },
+        KIND_RENAME => FileOp::Rename {
+            file: file(idx),
+            to: file_ids[w[2] as usize],
+        },
+        other => panic!("corrupt op stream: unknown kind code {other}"),
+    };
+    TraceRecord { at, op }
+}
+
+/// Whether a kind code is valid (used by the disk loader's validation
+/// pass so corruption fails the load, not the replay).
+pub(crate) fn kind_code_valid(code: u64) -> bool {
+    code <= KIND_RENAME
+}
+
+/// The numeric kind code of an [`OpKind`] (its [`OpKind::ALL`] position).
+pub fn kind_code(kind: OpKind) -> u8 {
+    match kind {
+        OpKind::Create => KIND_CREATE as u8,
+        OpKind::Write => KIND_WRITE as u8,
+        OpKind::Read => KIND_READ as u8,
+        OpKind::Delete => KIND_DELETE as u8,
+        OpKind::Truncate => KIND_TRUNCATE as u8,
+        OpKind::Sync => KIND_SYNC as u8,
+        OpKind::Stat => KIND_STAT as u8,
+        OpKind::Rename => KIND_RENAME as u8,
+    }
+}
+
+/// A trace compiled to fixed-width records: a flat word array plus the
+/// interned file-id table.
+///
+/// # Examples
+///
+/// ```
+/// use ssmc_trace::{GeneratorConfig, OpStream, Workload};
+///
+/// let trace = GeneratorConfig::new(Workload::Office).with_ops(500).generate();
+/// let stream = OpStream::compile(&trace);
+/// assert_eq!(stream.len(), trace.len());
+/// let decoded: Vec<_> = stream.cursor().collect();
+/// assert_eq!(decoded, trace.records);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    name: String,
+    words: Vec<u64>,
+    file_ids: Vec<FileId>,
+}
+
+impl OpStream {
+    /// Compiles a trace. Lossless: `stream.cursor()` yields the original
+    /// records exactly.
+    pub fn compile(trace: &Trace) -> OpStream {
+        let mut table = FileTable::default();
+        let mut words = Vec::with_capacity(trace.len() * RECORD_WORDS);
+        for r in &trace.records {
+            words.extend_from_slice(&encode_record(r.at, &r.op, &mut table));
+        }
+        OpStream {
+            name: trace.name.clone(),
+            words,
+            file_ids: table.into_ids(),
+        }
+    }
+
+    /// Assembles a stream from already-encoded parts (the disk loader).
+    pub(crate) fn from_parts(name: String, words: Vec<u64>, file_ids: Vec<FileId>) -> OpStream {
+        OpStream {
+            name,
+            words,
+            file_ids,
+        }
+    }
+
+    /// Workload name carried over from the trace.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of compiled records.
+    pub fn len(&self) -> usize {
+        self.words.len() / RECORD_WORDS
+    }
+
+    /// Whether the stream holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Distinct files referenced (size of the interned table).
+    pub fn file_count(&self) -> usize {
+        self.file_ids.len()
+    }
+
+    /// In-memory footprint of the compiled form, in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8 + self.file_ids.len() * 8
+    }
+
+    /// The raw record words (4 per record).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The interned file-id table.
+    pub(crate) fn file_ids(&self) -> &[FileId] {
+        &self.file_ids
+    }
+
+    /// An allocation-free decoding cursor over the records.
+    pub fn cursor(&self) -> OpStreamCursor<'_> {
+        OpStreamCursor {
+            words: &self.words,
+            file_ids: &self.file_ids,
+            pos: 0,
+        }
+    }
+
+    /// Decodes back into a [`Trace`] (tests and tooling; replay should
+    /// walk the cursor instead).
+    pub fn decompile(&self) -> Trace {
+        let mut t = Trace::new(self.name.clone());
+        t.records.extend(self.cursor());
+        t
+    }
+}
+
+/// Decodes an [`OpStream`] record by record without allocating: the
+/// replay hot path advances this cursor and hands out plain-data
+/// [`TraceRecord`]s built on the stack.
+#[derive(Debug, Clone)]
+pub struct OpStreamCursor<'a> {
+    words: &'a [u64],
+    file_ids: &'a [FileId],
+    pos: usize,
+}
+
+impl OpStreamCursor<'_> {
+    /// Decodes the next record, or `None` at end of stream.
+    // lint: hot-path
+    pub fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.pos >= self.words.len() {
+            return None;
+        }
+        let w = &self.words[self.pos..self.pos + RECORD_WORDS];
+        self.pos += RECORD_WORDS;
+        Some(decode_record(w, self.file_ids))
+    }
+
+    /// Records remaining ahead of the cursor.
+    pub fn remaining(&self) -> usize {
+        (self.words.len() - self.pos) / RECORD_WORDS
+    }
+}
+
+impl Iterator for OpStreamCursor<'_> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.next_record()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, Workload};
+    use ssmc_sim::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let mut tr = Trace::new("variants");
+        tr.push(t(0), FileOp::Create { file: 7 });
+        tr.push(
+            t(1),
+            FileOp::Write {
+                file: 7,
+                offset: 512,
+                len: 4096,
+            },
+        );
+        tr.push(
+            t(2),
+            FileOp::Read {
+                file: 7,
+                offset: 0,
+                len: 9,
+            },
+        );
+        tr.push(t(3), FileOp::Truncate { file: 7, len: 100 });
+        tr.push(t(4), FileOp::Stat { file: 7 });
+        tr.push(t(5), FileOp::Rename { file: 7, to: 9001 });
+        tr.push(t(6), FileOp::Sync);
+        tr.push(t(7), FileOp::Delete { file: 9001 });
+        let stream = OpStream::compile(&tr);
+        assert_eq!(stream.len(), tr.len());
+        assert_eq!(stream.file_count(), 2, "7 and 9001 interned once each");
+        assert_eq!(stream.decompile().records, tr.records);
+    }
+
+    #[test]
+    fn compilation_is_dense() {
+        let tr = GeneratorConfig::new(Workload::Bsd).with_ops(2_000).generate();
+        let stream = OpStream::compile(&tr);
+        assert_eq!(stream.byte_size() % 8, 0);
+        assert_eq!(
+            stream.byte_size(),
+            tr.len() * RECORD_BYTES + stream.file_count() * 8
+        );
+    }
+
+    #[test]
+    fn cursor_matches_generated_traces() {
+        for w in [
+            Workload::Bsd,
+            Workload::Office,
+            Workload::SoftwareDev,
+            Workload::Database,
+            Workload::MailSpool,
+        ] {
+            let tr = GeneratorConfig::new(w).with_ops(3_000).generate();
+            let stream = OpStream::compile(&tr);
+            let mut cursor = stream.cursor();
+            for (i, r) in tr.records.iter().enumerate() {
+                assert_eq!(cursor.next_record().as_ref(), Some(r), "{w} record {i}");
+            }
+            assert!(cursor.next_record().is_none(), "{w} cursor must end");
+        }
+    }
+
+    #[test]
+    fn extreme_values_survive() {
+        let mut tr = Trace::new("extreme");
+        tr.push(
+            SimTime::from_nanos(u64::MAX - 1),
+            FileOp::Write {
+                file: u64::MAX,
+                offset: u64::MAX - 2,
+                len: u64::MAX - 3,
+            },
+        );
+        let stream = OpStream::compile(&tr);
+        assert_eq!(stream.decompile().records, tr.records);
+    }
+
+    #[test]
+    fn kind_codes_follow_report_order() {
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(kind_code(*k) as usize, i, "{k}");
+            assert!(kind_code_valid(kind_code(*k) as u64));
+        }
+        assert!(!kind_code_valid(8));
+    }
+}

@@ -23,13 +23,22 @@ cargo run --release --offline -p ssmc-bench --bin experiments -- f2
 cargo bench -p ssmc-bench --bench simulator --offline -- --smoke
 
 # Allocation sentinel: a steady-state replay window must perform zero
-# heap allocations per op (the dynamic half of the lint's H1 rule).
-cargo bench -p ssmc-bench --bench simulator --offline -- --alloc-guard --smoke
+# heap allocations per op (the dynamic half of the lint's H1 rule),
+# and a full million-op compiled stream must replay from disk with flat
+# memory — the streaming half decodes 1M records and asserts zero
+# allocation events past the warmup window. Full mode on purpose: the
+# guard workload coalesces heavily, so even the 1M stream takes only a
+# few seconds.
+cargo bench -p ssmc-bench --bench simulator --offline -- --alloc-guard
 
-# Throughput regression gate: re-measure every workload and fail if any
-# drops more than 10% below the checked-in BENCH_throughput.json (or if
-# the workload sets diverge in either direction). Absolute path: cargo
-# runs the bench with CWD at the package root, not the workspace root.
+# Throughput regression gate: re-measure every workload against the
+# checked-in BENCH_throughput.json and fail any row more than 15% below
+# its host-normalized floor (recorded value scaled by the run-wide
+# median measured/recorded ratio, so the sag this script itself induces
+# — the machine is 15-25% slower here than at rest — cancels out), or
+# if the workload sets diverge in either direction. Absolute path:
+# cargo runs the bench with CWD at the package root, not the workspace
+# root.
 cargo bench -p ssmc-bench --bench simulator --offline -- --check "$PWD/BENCH_throughput.json"
 
 # Namespace scale proof: million-entry directory with O(log n) depth
