@@ -496,6 +496,53 @@ fn measure_stream_row(workload: Workload, name: &'static str, ops: usize, reps: 
     }
 }
 
+/// The timeline-enabled streaming row: the same compiled BSD stream as
+/// `stream_bsd`, replayed with the flight recorder sampling every
+/// simulated second into a temp-file `.tl` (~900 rows over this trace's
+/// ~940 simulated seconds). Sitting next to `stream_bsd` in the
+/// recording keeps the sampler's cost on the record: the `--check` gate
+/// fails if sampling ever stops being cheap.
+fn measure_stream_tl_row(ops: usize, reps: usize) -> ThroughputRow {
+    let trace = GeneratorConfig::new(Workload::Bsd)
+        .with_ops(ops)
+        .with_max_live_bytes(4 << 20)
+        .generate();
+    let data_bytes: u64 = trace
+        .records
+        .iter()
+        .map(|r| match r.op {
+            FileOp::Write { len, .. } | FileOp::Read { len, .. } => len,
+            _ => 0,
+        })
+        .sum();
+    let stream = OpStream::compile(&trace);
+    drop(trace);
+    let path = std::env::temp_dir().join("ssmc_bench_stream_bsd.tl");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut m = throughput_machine();
+        m.enable_timeline_file(&path, SimDuration::from_secs(1))
+            .expect("enable bench timeline");
+        let clock = m.clock().clone();
+        let start = Instant::now();
+        black_box(replay_stream(stream.cursor(), &mut m, &clock));
+        best = best.min(start.elapsed().as_secs_f64());
+        let summary = m
+            .finish_timeline()
+            .expect("finish bench timeline")
+            .expect("timeline stayed healthy");
+        assert!(summary.rows > 0, "timeline must sample during the replay");
+    }
+    let _ = std::fs::remove_file(&path);
+    ThroughputRow {
+        name: "stream_bsd_tl",
+        ops: stream.len() as u64,
+        data_bytes,
+        ops_per_sec: stream.len() as f64 / best,
+        mbps: data_bytes as f64 / best / (1 << 20) as f64,
+    }
+}
+
 /// The million-op streaming row: the trace is generated straight into a
 /// stream file — a `Vec<TraceRecord>` of this trace never exists — and
 /// replayed by decoding records from disk as they are consumed.
@@ -566,6 +613,7 @@ fn bench_throughput(filter: Option<String>, json: Option<std::path::PathBuf>) {
     );
     let mut rows = measure_throughput(ops, reps);
     rows.extend(measure_stream_throughput(ops, reps));
+    rows.push(measure_stream_tl_row(ops, reps));
     rows.push(measure_stream_1m(if smoke() { 1 } else { 2 }));
     for row in rows {
         let baseline = BASELINE_OPS_PER_SEC
@@ -633,6 +681,9 @@ fn remeasure_row(name: &str, ops: usize, reps: usize) -> Option<ThroughputRow> {
     if name == "stream_bsd_1m" {
         return Some(measure_stream_1m(1));
     }
+    if name == "stream_bsd_tl" {
+        return Some(measure_stream_tl_row(ops, reps));
+    }
     if let Some(&(w, n)) = THROUGHPUT_WORKLOADS.iter().find(|(_, n)| *n == name) {
         return Some(measure_legacy_row(w, n, ops, reps));
     }
@@ -668,12 +719,13 @@ fn check_throughput(path: &std::path::Path) {
     }
     println!(
         "check: re-measuring {} workloads against {} (tolerance {:.0}%)…",
-        THROUGHPUT_WORKLOADS.len() + STREAM_WORKLOADS.len() + 1,
+        THROUGHPUT_WORKLOADS.len() + STREAM_WORKLOADS.len() + 2,
         path.display(),
         CHECK_TOLERANCE * 100.0
     );
     let mut fresh = measure_throughput(25_000, 3);
     fresh.extend(measure_stream_throughput(25_000, 3));
+    fresh.push(measure_stream_tl_row(25_000, 3));
     fresh.push(measure_stream_1m(1));
     // Host-state normalization: machine load moves every row of a run in
     // the same direction, so the run-wide median measured/recorded ratio
@@ -883,6 +935,16 @@ fn alloc_guard() {
     }
     m.apply(&FileOp::Sync).expect("guard prime sync");
 
+    // The guard window also proves the sampler: the timeline is enabled
+    // here — registration and the header write allocate now, during
+    // warmup — so every measured op below runs with the flight recorder
+    // live, and steady-state sampling must allocate nothing. The 1 ms
+    // interval against the 20 µs pace lands a sample roughly every 50
+    // measured ops.
+    let tl_path = std::env::temp_dir().join("ssmc_alloc_guard.tl");
+    m.enable_timeline_file(&tl_path, SimDuration::from_millis(1))
+        .expect("enable guard timeline");
+
     // Settle: an un-measured run of the exact measured loop, long
     // enough (~2 full device turnovers of write traffic) that GC has
     // reclaimed every warmup segment, the deleted files' tombstones
@@ -900,6 +962,7 @@ fn alloc_guard() {
 
     // Measured window. Offenders are recorded into a stack array — the
     // guard itself must not allocate inside the window.
+    let rows_before = m.timeline_rows().expect("guard timeline alive");
     let before = ALLOC.counts();
     let mut offenders: [(u64, &'static str, u64); 8] = [(0, "", 0); 8];
     let mut offender_count: usize = 0;
@@ -923,12 +986,22 @@ fn alloc_guard() {
         }
     }
     let after = ALLOC.counts();
+    // The zero-alloc claim only counts if the sampler actually ran
+    // inside the window (a write error silently retires the sink).
+    let rows_after = m.timeline_rows().expect("guard timeline alive after window");
+    assert!(
+        rows_after > rows_before,
+        "sampler must take rows inside the guard window ({rows_before} -> {rows_after})"
+    );
+    m.finish_timeline().expect("finish guard timeline");
+    let _ = std::fs::remove_file(&tl_path);
     let events = after.events() - before.events();
     let bytes = after.bytes.saturating_sub(before.bytes);
     println!(
         "alloc-guard: {measured_ops} steady-state ops, {events} allocation \
-         events ({bytes} bytes), {} frees",
-        after.deallocs - before.deallocs
+         events ({bytes} bytes), {} frees; {} timeline rows in window",
+        after.deallocs - before.deallocs,
+        rows_after - rows_before
     );
     if events != 0 {
         for &(i, kind, delta) in offenders.iter().take(offender_count.min(8)) {
@@ -993,6 +1066,12 @@ fn alloc_guard_stream() {
     }
     let expected = stream_ops + GUARD_FILES * (1 + GUARD_SLOTS);
     let mut m = stream_1m_machine();
+    // The streaming window runs sampler-on too: the decode → coalesce →
+    // apply loop and the flight recorder must be allocation-free
+    // together, not just separately.
+    let tl_path = std::env::temp_dir().join("ssmc_alloc_guard_stream.tl");
+    m.enable_timeline_file(&tl_path, SimDuration::from_millis(1))
+        .expect("enable guard stream timeline");
     let mut reader = OpStreamFileReader::open(&path).expect("open guard stream");
     let mut batch: Vec<TraceRecord> = Vec::with_capacity(MAX_BATCH);
     let mut lats = [SimDuration::ZERO; MAX_BATCH];
@@ -1001,6 +1080,7 @@ fn alloc_guard_stream() {
     let mut applied: u64 = 0;
     let mut errors: u64 = 0;
     let mut window = None;
+    let mut rows_at_window: u64 = 0;
     loop {
         batch.clear();
         let Some(first) = pending
@@ -1034,11 +1114,22 @@ fn alloc_guard_stream() {
         }
         applied += n as u64;
         if window.is_none() && applied >= warm {
+            rows_at_window = m.timeline_rows().expect("guard stream timeline alive");
             window = Some(ALLOC.counts());
         }
     }
     let before = window.expect("stream shorter than its warmup window");
     let after = ALLOC.counts();
+    let rows_in_window = m
+        .timeline_rows()
+        .expect("guard stream timeline alive at end")
+        - rows_at_window;
+    assert!(
+        rows_in_window > 0,
+        "sampler must take rows inside the streaming guard window"
+    );
+    m.finish_timeline().expect("finish guard stream timeline");
+    let _ = std::fs::remove_file(&tl_path);
     let _ = std::fs::remove_file(&path);
     assert_eq!(applied, expected, "stream must decode every record");
     assert_eq!(errors, 0, "guard stream ops must not fail");
@@ -1046,7 +1137,7 @@ fn alloc_guard_stream() {
     let bytes = after.bytes.saturating_sub(before.bytes);
     println!(
         "alloc-guard: stream window of {} decoded ops, {events} allocation \
-         events ({bytes} bytes)",
+         events ({bytes} bytes); {rows_in_window} timeline rows in window",
         applied - warm
     );
     if events != 0 {

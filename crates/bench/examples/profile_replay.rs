@@ -33,12 +33,36 @@ fn main() {
     run_trace(&mut m, &trace);
     let plain_secs = start.elapsed().as_secs_f64();
 
+    // Sampler-on run: same machine and trace, with the timeline flight
+    // recorder writing to a temp `.tl` at the default interval. The gap
+    // against the no-op run above is the sampler's whole host cost.
+    let tl_path = std::env::temp_dir().join("ssmc_profile_replay.tl");
+    let mut m = throughput_machine();
+    m.enable_timeline_file(&tl_path, ssmc_bench::obs_trace::default_sample_interval())
+        .expect("enable timeline");
+    let start = Instant::now();
+    run_trace(&mut m, &trace);
+    let sampled_secs = start.elapsed().as_secs_f64();
+    let summary = m
+        .finish_timeline()
+        .expect("finish timeline")
+        .expect("timeline stayed healthy");
+    let _ = std::fs::remove_file(&tl_path);
+
     println!(
         "host: traced {:.3}s ({:.0} ops/sec), no-op recorder {:.3}s ({:.0} ops/sec)",
         traced_secs,
         OPS as f64 / traced_secs,
         plain_secs,
         OPS as f64 / plain_secs,
+    );
+    println!(
+        "host: sampler on {:.3}s ({:.0} ops/sec; {} rows x {} channels) — {:+.1}% vs sampler off",
+        sampled_secs,
+        OPS as f64 / sampled_secs,
+        summary.rows,
+        summary.channels,
+        100.0 * (sampled_secs - plain_secs) / plain_secs,
     );
     println!();
 

@@ -8,6 +8,7 @@
 //! cargo run --release -p ssmc-bench --bin experiments -- all --threads 4
 //! cargo run --release -p ssmc-bench --bin experiments -- t2 --cache-policy lru_k
 //! cargo run --release -p ssmc-bench --bin experiments -- --trace-out trace.json
+//! cargo run --release -p ssmc-bench --bin experiments -- --timeline-out run.tl
 //! ```
 
 use ssmc_bench::experiments;
@@ -81,12 +82,65 @@ fn main() {
         eprintln!("    wrote {}", path.display());
     }
 
+    let timeline_out = args
+        .iter()
+        .position(|a| a == "--timeline-out")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    eprintln!("--timeline-out needs a path");
+                    std::process::exit(2);
+                })
+        });
+    let sample_interval = args
+        .iter()
+        .position(|a| a == "--sample-interval")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(ssmc_sim::SimDuration::from_millis)
+                .unwrap_or_else(|| {
+                    eprintln!("--sample-interval needs a positive integer (simulated ms)");
+                    std::process::exit(2);
+                })
+        })
+        .unwrap_or_else(ssmc_bench::obs_trace::default_sample_interval);
+
+    if let Some(path) = &timeline_out {
+        eprintln!(
+            ">>> timeline replay: bsd, {trace_ops} ops @ {} ms samples",
+            sample_interval.as_millis_f64()
+        );
+        let start = std::time::Instant::now();
+        let summary =
+            ssmc_bench::obs_trace::timeline_replay(
+                ssmc_trace::Workload::Bsd,
+                trace_ops,
+                sample_interval,
+                path,
+            )
+            .expect("timeline replay");
+        eprintln!("    ({:.1} s)", start.elapsed().as_secs_f64());
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        eprintln!(
+            "    wrote {} ({} rows x {} channels, {bytes} bytes)",
+            path.display(),
+            summary.rows,
+            summary.channels,
+        );
+    }
+
     if (args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h"))
         && trace_out.is_none()
+        && timeline_out.is_none()
     {
         eprintln!(
             "usage: experiments [--list] [--json DIR] [--threads N] \
              [--cache-policy lru|lru_k] [--trace-out PATH [--trace-ops N]] \
+             [--timeline-out PATH [--sample-interval MS]] \
              <ids...|all>"
         );
         eprintln!(
@@ -143,7 +197,7 @@ fn main() {
         }
         ran += 1;
     }
-    if ran == 0 && trace_out.is_none() {
+    if ran == 0 && trace_out.is_none() && timeline_out.is_none() {
         eprintln!("no matching experiments; try --list");
         std::process::exit(2);
     }

@@ -1,0 +1,77 @@
+//! Compares two observability artifacts (`.tl` timelines or
+//! `TraceArtifact` JSON, in any combination) and reports per-metric
+//! drift. CI-friendly exit codes: 0 clean, 1 drift found, 2 usage or
+//! I/O error.
+//!
+//! ```text
+//! obs-diff <a.tl|a.json> <b.tl|b.json> [--rel-tol F] [--abs-tol F]
+//! ```
+
+use ssmc_bench::obs_diff::{diff, load, DiffOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let tol = |name: &str| -> Option<f64> {
+            let v = args.get(i + 1)?;
+            match v.parse::<f64>() {
+                Ok(t) if t >= 0.0 => Some(t),
+                _ => {
+                    eprintln!("obs-diff: {name} needs a non-negative number, got {v:?}");
+                    None
+                }
+            }
+        };
+        match args[i].as_str() {
+            "--rel-tol" => {
+                let Some(t) = tol("--rel-tol") else {
+                    return ExitCode::from(2);
+                };
+                opts.rel_tol = t;
+                i += 2;
+            }
+            "--abs-tol" => {
+                let Some(t) = tol("--abs-tol") else {
+                    return ExitCode::from(2);
+                };
+                opts.abs_tol = t;
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("obs-diff: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            p => {
+                paths.push(PathBuf::from(p));
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: obs-diff <a.tl|a.json> <b.tl|b.json> [--rel-tol F] [--abs-tol F]");
+        return ExitCode::from(2);
+    }
+
+    let mut inputs = Vec::with_capacity(2);
+    for p in &paths {
+        match load(p) {
+            Ok(input) => inputs.push(input),
+            Err(e) => {
+                eprintln!("obs-diff: {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = diff(&inputs[0], &inputs[1], &opts);
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

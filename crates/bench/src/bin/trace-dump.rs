@@ -9,7 +9,19 @@
 use ssmc_bench::obs_trace::TraceArtifact;
 use ssmc_sim::obs::{EventKind, Layer, EVENT_KINDS, LAYERS};
 use ssmc_sim::report::{FromReport, Value};
-use ssmc_sim::Table;
+use ssmc_sim::{Histogram, Table};
+
+/// Label for a bucket's inclusive upper bound. The top bucket ends at
+/// `u64::MAX` — printing `2^64` (or a wrapped `0`) here would claim a
+/// bound no `u64` latency can reach.
+fn bucket_label(i: usize) -> String {
+    let (_, hi) = Histogram::bucket_bounds(i);
+    if hi == u64::MAX {
+        "max".into()
+    } else {
+        format!("{hi}")
+    }
+}
 
 fn main() {
     let path = match std::env::args().nth(1) {
@@ -69,6 +81,25 @@ fn main() {
         ]);
     }
     println!("{}", kinds.render());
+
+    // The full latency distributions behind those quantiles: one line
+    // per kind, non-empty buckets only, keyed by each bucket's inclusive
+    // upper bound in ns (structural form — the same buckets obs-diff
+    // compares).
+    println!("latency distribution (count per bucket, keyed by upper bound ns):");
+    for kind in EVENT_KINDS {
+        let Some(row) = journal.aggregate(kind) else {
+            continue;
+        };
+        let mut line = String::new();
+        for (i, &c) in row.agg.latency.bucket_counts().iter().enumerate() {
+            if c > 0 {
+                line.push_str(&format!(" ..{}={c}", bucket_label(i)));
+            }
+        }
+        println!("  {:<20}{line}", kind.name());
+    }
+    println!();
 
     // Per-layer totals.
     let mut layers = Table::new(

@@ -16,6 +16,7 @@
 pub mod alloc_sentinel;
 pub mod baseline_policy;
 pub mod exp;
+pub mod obs_diff;
 pub mod obs_trace;
 
 use ssmc_sim::Table;

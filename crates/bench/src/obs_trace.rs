@@ -10,7 +10,10 @@
 use ssmc_core::{run_trace, MachineConfig, MobileComputer};
 use ssmc_sim::obs::{JournalSnapshot, MetricsRegistry, Recorder, DEFAULT_JOURNAL_CAPACITY};
 use ssmc_sim::report::{field, FromReport, ReportError, ToReport, Value};
+use ssmc_sim::timeline::TimelineSummary;
+use ssmc_sim::SimDuration;
 use ssmc_trace::{GeneratorConfig, Workload};
+use std::path::Path;
 
 /// Seed every traced replay uses (the paper's publication year, matching
 /// the determinism suite).
@@ -87,4 +90,47 @@ pub fn traced_replay(workload: Workload, ops: u64) -> TraceArtifact {
         journal,
         registry,
     }
+}
+
+/// Default timeline sampling interval: 10 ms of simulated time, fine
+/// enough that a 25k-op replay yields hundreds of rows but coarse enough
+/// that a `.tl` stays a few hundred KB.
+pub fn default_sample_interval() -> SimDuration {
+    SimDuration::from_millis(10)
+}
+
+/// Replays `ops` fixed-seed operations of `workload` through the
+/// throughput machine with the flight recorder writing to `out` at
+/// `interval` boundaries, and returns the sealed timeline's summary.
+/// Same seed and machine as [`traced_replay`] (the span recorder itself
+/// stays off — the timeline is the cheap always-on layer), so fixed-seed
+/// timelines are byte-identical across hosts, repeats, and thread
+/// settings.
+///
+/// # Errors
+///
+/// Filesystem errors creating or sealing the `.tl` file.
+///
+/// # Panics
+///
+/// Panics if the replay reports errors.
+pub fn timeline_replay(
+    workload: Workload,
+    ops: u64,
+    interval: SimDuration,
+    out: &Path,
+) -> std::io::Result<TimelineSummary> {
+    let trace = GeneratorConfig::new(workload)
+        .with_ops(ops as usize)
+        .with_seed(TRACE_SEED)
+        .with_max_live_bytes(4 << 20)
+        .generate();
+    let mut machine = throughput_machine();
+    machine.enable_timeline_file(out, interval)?;
+    let report = run_trace(&mut machine, &trace);
+    assert_eq!(report.replay.errors, 0, "timeline replay must be clean");
+    let summary = machine
+        .finish_timeline()?
+        .expect("timeline was enabled and must not have been dropped");
+    Ok(summary)
 }

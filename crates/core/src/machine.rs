@@ -11,6 +11,7 @@ use ssmc_baseline::{BaselineConfig, DiskFs};
 use ssmc_device::{Battery, BatterySpec, BatteryState};
 use ssmc_memfs::{FileMap, FsError, MemFs, OpenMode};
 use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
+use ssmc_sim::timeline::{SampleBuf, Schema, SeekWrite, TimelineSink, TimelineSummary};
 use ssmc_sim::{Clock, Energy, SharedClock, SimDuration, SimTime};
 use ssmc_storage::{DenseIndex, RecoveryReport, StorageManager};
 use ssmc_trace::{BatchTarget, FileId, FileOp, TraceRecord, TraceTarget, BATCH_ERROR};
@@ -41,6 +42,9 @@ pub struct MobileComputer {
     replay_batch_ops: u64,
     /// Records that arrived in a coalesced batch (size two or more).
     replay_coalesced_ops: u64,
+    /// Sim-time flight recorder; `None` (one not-taken branch per
+    /// maintenance tick) unless [`Self::enable_timeline`] installed one.
+    timeline: Option<TimelineSink>,
 }
 
 impl MobileComputer {
@@ -74,6 +78,7 @@ impl MobileComputer {
             replay_batches: 0,
             replay_batch_ops: 0,
             replay_coalesced_ops: 0,
+            timeline: None,
             cfg,
             clock,
             fs,
@@ -135,6 +140,109 @@ impl MobileComputer {
         reg
     }
 
+    /// The machine's timeline channel schema, built by one registration
+    /// pass over the same per-layer `sample_timeline` walk that later
+    /// produces values — schema and samples cannot drift apart.
+    pub fn timeline_schema(&self) -> Schema {
+        let mut buf = SampleBuf::registration();
+        self.fill_sample(&mut buf);
+        buf.into_schema()
+    }
+
+    /// Installs a sim-time flight recorder writing to `sink`, sampling
+    /// every channel of [`Self::timeline_schema`] at `interval`
+    /// boundaries of simulated time. Replaces (and abandons unsealed)
+    /// any previously installed timeline.
+    ///
+    /// # Errors
+    ///
+    /// Write errors from the sink while writing the container header.
+    pub fn enable_timeline(
+        &mut self,
+        sink: Box<dyn SeekWrite>,
+        interval: SimDuration,
+    ) -> std::io::Result<()> {
+        let schema = self.timeline_schema();
+        self.timeline = Some(TimelineSink::new(sink, &schema, interval, self.clock.now())?);
+        Ok(())
+    }
+
+    /// [`Self::enable_timeline`] writing to a buffered file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// File-creation or header-write errors.
+    pub fn enable_timeline_file(
+        &mut self,
+        path: &std::path::Path,
+        interval: SimDuration,
+    ) -> std::io::Result<()> {
+        let f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.enable_timeline(Box::new(f), interval)
+    }
+
+    /// Rows the installed timeline has written, or `None` without one.
+    pub fn timeline_rows(&self) -> Option<u64> {
+        self.timeline.as_ref().map(TimelineSink::rows)
+    }
+
+    /// Takes one final unconditional sample (so the last row always
+    /// carries the end-of-run values, whatever the boundary phase), seals
+    /// the container, and uninstalls the recorder. `Ok(None)` if no
+    /// timeline was installed — or if one hit a write error mid-run and
+    /// was dropped (see [`Self::maintain`]).
+    ///
+    /// # Errors
+    ///
+    /// Write/seek errors while sealing.
+    pub fn finish_timeline(&mut self) -> std::io::Result<Option<TimelineSummary>> {
+        let Some(mut tl) = self.timeline.take() else {
+            return Ok(None);
+        };
+        tl.sample(self.clock.now(), |buf| self.fill_sample(buf))?;
+        tl.finish().map(Some)
+    }
+
+    /// Fills every timeline channel, in registration order: file system
+    /// (with storage, flash, and per-segment wear below it), VM, machine
+    /// totals, and battery.
+    fn fill_sample(&self, buf: &mut SampleBuf) {
+        self.fs.sample_timeline(buf);
+        self.vm.sample_timeline(buf);
+        buf.counter(
+            || "machine.energy_total_nj".into(),
+            self.total_energy().as_nanojoules(),
+        );
+        buf.counter(
+            || "machine.energy_drained_nj".into(),
+            self.drained.as_nanojoules(),
+        );
+        buf.counter(|| "replay.batches".into(), self.replay_batches);
+        buf.counter(|| "replay.batch_ops".into(), self.replay_batch_ops);
+        buf.counter(|| "replay.coalesced_ops".into(), self.replay_coalesced_ops);
+        buf.gauge(|| "machine.sim_time_s".into(), self.clock.now().as_secs_f64());
+        self.battery.sample_timeline(buf);
+    }
+
+    /// Samples the timeline if a boundary has been crossed. At most one
+    /// row per maintenance tick: after a long idle gap the row lands on
+    /// the *current* boundary (the tick channel records which), rather
+    /// than back-filling rows nothing observed. A write error drops the
+    /// sink — sampling must never turn into a simulation failure — and
+    /// [`Self::finish_timeline`] then reports `None`.
+    // lint: hot-path
+    fn timeline_tick(&mut self) {
+        let now = self.clock.now();
+        match &self.timeline {
+            Some(tl) if tl.due(now) => {}
+            _ => return,
+        }
+        let mut tl = self.timeline.take().expect("checked above");
+        if tl.sample(now, |buf| self.fill_sample(buf)).is_ok() {
+            self.timeline = Some(tl);
+        }
+    }
+
     /// Total energy consumed by all devices so far.
     pub fn total_energy(&self) -> Energy {
         // Scalar sums only: `maintain` runs before every trace operation,
@@ -161,6 +269,9 @@ impl MobileComputer {
         if self.battery.drain(delta) == BatteryState::Dead && self.fs.storage().dram().is_valid() {
             // Battery death destroys DRAM contents.
             self.fs.crash();
+        }
+        if self.timeline.is_some() {
+            self.timeline_tick();
         }
     }
 
@@ -431,6 +542,31 @@ impl BatchTarget for MobileComputer {
                     }
                     _ => {}
                 }
+            } else {
+                // Traced batched replay: the fallback emits every per-op
+                // root span, and one batch root span on top attributes
+                // the coalesced run (`pages` = coalesced-op count). Zero
+                // energy on purpose — the per-op roots underneath already
+                // carry the whole-machine deltas.
+                let start = self.clock.now();
+                let mut bytes = 0u64;
+                for r in records {
+                    if let FileOp::Write { len, .. } | FileOp::Read { len, .. } = r.op {
+                        bytes += len;
+                    }
+                }
+                self.batch_fallback(records, latencies);
+                let end = self.clock.now();
+                let n = records.len() as u64;
+                self.recorder.emit(|| Span {
+                    kind: EventKind::TraceBatch,
+                    start,
+                    end,
+                    energy: Energy::ZERO,
+                    pages: n,
+                    bytes,
+                });
+                return;
             }
         }
         self.batch_fallback(records, latencies);

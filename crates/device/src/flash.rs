@@ -16,6 +16,7 @@
 use crate::error::DeviceError;
 use crate::Result;
 use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
+use ssmc_sim::timeline::SampleBuf;
 use ssmc_sim::{Energy, EnergyLedger, Power, SharedClock, SimDuration, SimTime};
 
 /// Identifies an erase block within the device (global, not per-bank).
@@ -686,6 +687,31 @@ impl Flash {
         for (component, e) in self.energy.iter() {
             reg.counter(&format!("energy.{component}_nj"), e.as_nanojoules());
         }
+    }
+
+    /// Timeline channels for the device: the `flash.*` counters plus the
+    /// scalar energy total. Per-component ledger entries are deliberately
+    /// *not* channels — the ledger grows lazily on first charge, which
+    /// would change the channel count mid-run; a timeline's row width is
+    /// fixed at registration. Not hot-path-marked: the name closures only
+    /// run during the registration pass, never while sampling.
+    pub fn sample_timeline(&self, buf: &mut SampleBuf) {
+        let c = self.counters;
+        buf.counter(|| "flash.reads".into(), c.reads);
+        buf.counter(|| "flash.bytes_read".into(), c.bytes_read);
+        buf.counter(|| "flash.programs".into(), c.programs);
+        buf.counter(|| "flash.bytes_programmed".into(), c.bytes_programmed);
+        buf.counter(|| "flash.erases".into(), c.erases);
+        buf.counter(|| "flash.read_stall_ns".into(), c.read_stall.as_nanos());
+        buf.counter(|| "flash.stalled_reads".into(), c.stalled_reads);
+        buf.counter(|| "flash.suspended_reads".into(), c.suspended_reads);
+        let wear = self.wear_stats();
+        buf.counter(|| "flash.bad_blocks".into(), wear.bad_blocks as u64);
+        buf.gauge(|| "flash.wear_evenness".into(), wear.evenness());
+        buf.counter(
+            || "energy.flash_total_nj".into(),
+            self.energy.total().as_nanojoules(),
+        );
     }
 }
 

@@ -8,6 +8,7 @@ use crate::layout::{
 };
 use crate::Result;
 use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
+use ssmc_sim::timeline::SampleBuf;
 use ssmc_sim::Energy;
 use ssmc_storage::{PageId, RecoveryReport, StorageManager};
 // lint: allow(D2): the fsck maps/sets below are keyed-access or
@@ -278,6 +279,25 @@ impl MemFs {
         reg.counter("fs.dindex_splits", splits);
         reg.gauge("fs.dindex_depth", f64::from(depth));
         self.sm.publish_metrics(reg);
+    }
+
+    /// Timeline channels for the file system and everything below it.
+    /// Name closures only run during the registration pass.
+    pub fn sample_timeline(&self, buf: &mut SampleBuf) {
+        buf.counter(|| "fs.creates".into(), self.metrics.creates);
+        buf.counter(|| "fs.deletes".into(), self.metrics.deletes);
+        buf.counter(|| "fs.reads".into(), self.metrics.reads);
+        buf.counter(|| "fs.writes".into(), self.metrics.writes);
+        buf.counter(|| "fs.bytes_read".into(), self.metrics.bytes_read);
+        buf.counter(|| "fs.bytes_written".into(), self.metrics.bytes_written);
+        buf.counter(
+            || "fs.copy_on_open_bytes".into(),
+            self.metrics.copy_on_open_bytes,
+        );
+        let (depth, splits) = self.dindex_stats();
+        buf.counter(|| "fs.dindex_splits".into(), splits);
+        buf.gauge(|| "fs.dindex_depth".into(), f64::from(depth));
+        self.sm.sample_timeline(buf);
     }
 
     /// Directory-index shape: (max B-tree depth across directories, total

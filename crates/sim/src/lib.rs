@@ -20,6 +20,8 @@
 //!   [`FromReport`] serialization traits (no external crates).
 //! * [`par`] — deterministic order-preserving parallel sweep runner.
 //! * [`obs`] — deterministic cross-layer span journal and metrics registry.
+//! * [`timeline`] — sim-time flight recorder and the `.tl` columnar
+//!   container for time-resolved telemetry.
 
 #![forbid(unsafe_code)]
 
@@ -33,6 +35,7 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod timeline;
 
 pub use clock::{Clock, SharedClock};
 pub use energy::{Energy, EnergyLedger, Power};
@@ -47,3 +50,7 @@ pub use rng::SimRng;
 pub use series::{Cell, Series, Table};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};
+pub use timeline::{
+    Channel, ChannelKind, SampleBuf, Schema, SeekWrite, Timeline, TimelineSink, TimelineSummary,
+    TimelineWriter,
+};

@@ -97,6 +97,14 @@ pub enum EventKind {
     TraceStat,
     /// `FileOp::Rename` root span.
     TraceRename,
+    /// Batched-replay root span: one per coalesced `apply_batch` run of
+    /// the streaming replayer, wrapping that run's per-op root spans.
+    /// `pages` carries the coalesced-op count and `bytes` the payload
+    /// volume, so `trace-dump` attributes batched streaming replays
+    /// instead of under-counting them. Carries zero energy on purpose:
+    /// the per-op root spans underneath already carry the whole-machine
+    /// deltas ("sum one level, not both").
+    TraceBatch,
     // Vm layer.
     /// A page fault (minor or major; `pages` counts major loads).
     VmFault,
@@ -132,7 +140,7 @@ pub enum EventKind {
 }
 
 /// All event kinds, in the fixed order aggregates serialize in.
-pub const EVENT_KINDS: [EventKind; 22] = [
+pub const EVENT_KINDS: [EventKind; 23] = [
     EventKind::TraceCreate,
     EventKind::TraceWrite,
     EventKind::TraceRead,
@@ -141,6 +149,7 @@ pub const EVENT_KINDS: [EventKind; 22] = [
     EventKind::TraceSync,
     EventKind::TraceStat,
     EventKind::TraceRename,
+    EventKind::TraceBatch,
     EventKind::VmFault,
     EventKind::VmXip,
     EventKind::FsOpen,
@@ -169,6 +178,7 @@ impl EventKind {
             EventKind::TraceSync => "trace.sync",
             EventKind::TraceStat => "trace.stat",
             EventKind::TraceRename => "trace.rename",
+            EventKind::TraceBatch => "trace.batch",
             EventKind::VmFault => "vm.fault",
             EventKind::VmXip => "vm.xip",
             EventKind::FsOpen => "fs.open",
@@ -201,7 +211,8 @@ impl EventKind {
             | EventKind::TraceDelete
             | EventKind::TraceSync
             | EventKind::TraceStat
-            | EventKind::TraceRename => Layer::Machine,
+            | EventKind::TraceRename
+            | EventKind::TraceBatch => Layer::Machine,
             EventKind::VmFault | EventKind::VmXip => Layer::Vm,
             EventKind::FsOpen | EventKind::FsRead | EventKind::FsWrite => Layer::MemFs,
             EventKind::StorageFlush

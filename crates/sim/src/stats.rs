@@ -152,13 +152,42 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Number of buckets: one for `{0, 1}`, one per power of two up to
+    /// `2^63`, and a top bucket reaching `u64::MAX`.
+    pub const BUCKETS: usize = 65;
+
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram {
-            buckets: vec![0; 65],
+            buckets: vec![0; Self::BUCKETS],
             count: 0,
             sum: 0,
         }
+    }
+
+    /// Inclusive value range `[lo, hi]` of bucket `i` — the structural
+    /// boundaries `obs-diff` compares distributions by, and the labels
+    /// `trace-dump` renders. The top bucket ends at `u64::MAX`, not
+    /// `2^64` (which does not exist in `u64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < Self::BUCKETS, "bucket index {i} out of range");
+        if i == 0 {
+            (0, 1)
+        } else if i == Self::BUCKETS - 1 {
+            ((1u64 << 63) + 1, u64::MAX)
+        } else {
+            ((1u64 << (i - 1)) + 1, 1u64 << i)
+        }
+    }
+
+    /// Per-bucket counts, indexed consistently with
+    /// [`Self::bucket_bounds`].
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
     }
 
     fn bucket_of(v: u64) -> usize {
@@ -342,21 +371,47 @@ impl FromReport for OnlineStats {
 
 impl ToReport for Histogram {
     fn to_report(&self) -> Value {
+        // Bucket upper bounds ride along so a decoded snapshot can be
+        // compared structurally (bucket-by-bucket) without trusting that
+        // both sides were built with the same bucketing scheme.
+        let bounds: Vec<u64> = (0..Self::BUCKETS)
+            .map(|i| Self::bucket_bounds(i).1)
+            .collect();
         Value::object(vec![
             ("buckets", self.buckets.to_report()),
             ("count", self.count.to_report()),
             ("sum", self.sum.to_report()),
+            ("bounds", bounds.to_report()),
         ])
     }
 }
 
 impl FromReport for Histogram {
     fn from_report(v: &Value) -> Result<Self, ReportError> {
-        Ok(Histogram {
+        let h = Histogram {
             buckets: field(v, "buckets")?,
             count: field(v, "count")?,
             sum: field(v, "sum")?,
-        })
+        };
+        if h.buckets.len() != Self::BUCKETS {
+            return Err(ReportError::schema(format!(
+                "histogram has {} buckets, expected {}",
+                h.buckets.len(),
+                Self::BUCKETS
+            )));
+        }
+        // Older artifacts omit "bounds"; when present it must match this
+        // build's bucketing scheme or per-bucket comparisons would lie.
+        if let Some(b) = v.get("bounds") {
+            let got: Vec<u64> = FromReport::from_report(b)?;
+            let want: Vec<u64> = (0..Self::BUCKETS)
+                .map(|i| Self::bucket_bounds(i).1)
+                .collect();
+            if got != want {
+                return Err(ReportError::schema("histogram bucket bounds mismatch"));
+            }
+        }
+        Ok(h)
     }
 }
 
@@ -546,5 +601,65 @@ mod tests {
         let now = SimTime::from_nanos(5);
         let w = TimeWeighted::new(now, 3.0);
         assert_eq!(w.mean(now), 3.0);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        // Every bucket starts one past the previous bucket's end, and the
+        // top bucket ends at u64::MAX — not a phantom 2^64.
+        assert_eq!(Histogram::bucket_bounds(0), (0, 1));
+        assert_eq!(Histogram::bucket_bounds(1), (2, 2));
+        assert_eq!(Histogram::bucket_bounds(2), (3, 4));
+        assert_eq!(
+            Histogram::bucket_bounds(Histogram::BUCKETS - 1),
+            ((1u64 << 63) + 1, u64::MAX)
+        );
+        for i in 1..Histogram::BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(lo, Histogram::bucket_bounds(i - 1).1 + 1, "bucket {i}");
+            assert!(hi >= lo, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_agree_with_record() {
+        let mut h = Histogram::new();
+        for i in 0..Histogram::BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            h = Histogram::new();
+            h.record(lo);
+            h.record(hi);
+            assert_eq!(h.bucket_counts()[i], 2, "bucket {i} holds its bounds");
+        }
+        let _ = h;
+    }
+
+    #[test]
+    fn histogram_snapshot_carries_bounds_and_tolerates_their_absence() {
+        let mut h = Histogram::new();
+        h.record(7);
+        h.record(u64::MAX);
+        let v = h.to_report();
+        assert!(v.get("bounds").is_some());
+        let back = Histogram::from_report(&v).expect("round trip");
+        assert_eq!(back.bucket_counts(), h.bucket_counts());
+
+        // Pre-bounds artifacts (no "bounds" key) still decode.
+        let old = Value::object(vec![
+            ("buckets", h.bucket_counts().to_vec().to_report()),
+            ("count", h.count().to_report()),
+            ("sum", h.sum().to_report()),
+        ]);
+        assert!(Histogram::from_report(&old).is_ok());
+
+        // A mismatched scheme is rejected, not silently miscompared.
+        let bogus: Vec<u64> = (0..Histogram::BUCKETS as u64).collect();
+        let bad = Value::object(vec![
+            ("buckets", h.bucket_counts().to_vec().to_report()),
+            ("count", h.count().to_report()),
+            ("sum", h.sum().to_report()),
+            ("bounds", bogus.to_report()),
+        ]);
+        assert!(Histogram::from_report(&bad).is_err());
     }
 }

@@ -26,6 +26,7 @@ use crate::segment::{SegState, SegmentTable, SlotMeta};
 use crate::Result;
 use ssmc_device::{DeviceError, Dram, Flash};
 use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
+use ssmc_sim::timeline::SampleBuf;
 use ssmc_sim::{Energy, EnergyLedger, SharedClock, SimDuration, SimTime};
 
 /// Which write head a segment is opened for.
@@ -219,9 +220,57 @@ impl StorageManager {
     /// accounts into the unified registry.
     pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
         self.metrics.publish(reg);
+        reg.gauge("storage.gc_efficiency", self.gc_efficiency());
         self.flash.publish_metrics(reg);
         for (component, e) in self.dram.energy().iter() {
             reg.counter(&format!("energy.{component}_nj"), e.as_nanojoules());
+        }
+    }
+
+    /// Fraction of reclaimed segment slots that were free (not live
+    /// copies) per GC pass, in `[0, 1]`: `1 - gc_copies / (runs × slots
+    /// per segment)`. 1.0 means every collected segment was entirely
+    /// dead — the erase-ahead ideal of §3 — while values near 0 mean the
+    /// cleaner is copying almost everything it reclaims. 1.0 when GC has
+    /// never run.
+    pub fn gc_efficiency(&self) -> f64 {
+        let runs = self.metrics.gc_runs;
+        if runs == 0 {
+            return 1.0;
+        }
+        let reclaimed = (runs * self.cfg.slots_per_segment() as u64) as f64;
+        (1.0 - self.metrics.gc_flash_pages as f64 / reclaimed).max(0.0)
+    }
+
+    /// Timeline channels for the storage layer: every [`StorageMetrics`]
+    /// signal, GC efficiency and segment-state occupancy, the flash
+    /// device channels, the scalar DRAM energy total (per-component
+    /// ledger entries appear lazily and cannot be fixed-width channels),
+    /// and one wear counter per segment — the raw material for the
+    /// per-segment wear heatmap. Name closures only run during the
+    /// registration pass, so steady-state sampling neither formats nor
+    /// allocates.
+    pub fn sample_timeline(&self, buf: &mut SampleBuf) {
+        self.metrics.sample_timeline(buf);
+        buf.gauge(|| "storage.gc_efficiency".into(), self.gc_efficiency());
+        buf.counter(
+            || "storage.free_segments".into(),
+            self.table.free_count() as u64,
+        );
+        buf.counter(
+            || "storage.retired_segments".into(),
+            self.table.retired_count() as u64,
+        );
+        self.flash.sample_timeline(buf);
+        buf.counter(
+            || "energy.dram_total_nj".into(),
+            self.dram.energy().total().as_nanojoules(),
+        );
+        for seg in 0..self.table.len() {
+            let erases = self
+                .flash
+                .erase_count(self.flash.block_of(self.table.block_addr(seg)));
+            buf.counter(|| format!("storage.segment_wear.{seg:04}"), erases);
         }
     }
 

@@ -6,6 +6,7 @@
 //! stats), T3 from the dirty-data exposure.
 
 use ssmc_sim::obs::MetricsRegistry;
+use ssmc_sim::timeline::SampleBuf;
 use ssmc_sim::{SimDuration, SimTime, TimeWeighted};
 
 /// Counters and gauges maintained by the storage manager.
@@ -123,6 +124,56 @@ impl StorageMetrics {
         );
         reg.gauge("storage.write_amplification", self.write_amplification());
         reg.gauge("storage.dram_read_fraction", self.dram_read_fraction());
+    }
+
+    /// Timeline channels mirroring [`Self::publish`]: the counters as
+    /// counters, the time-weighted signals as point-in-time levels (the
+    /// timeline itself is the time-weighting), and the derived ratios as
+    /// gauges. Name closures only run during registration.
+    pub fn sample_timeline(&self, buf: &mut SampleBuf) {
+        buf.counter(|| "storage.pages_written".into(), self.pages_written);
+        buf.counter(|| "storage.bytes_written".into(), self.bytes_written);
+        buf.counter(
+            || "storage.overwrites_absorbed".into(),
+            self.overwrites_absorbed,
+        );
+        buf.counter(|| "storage.deaths_absorbed".into(), self.deaths_absorbed);
+        buf.counter(|| "storage.user_flash_pages".into(), self.user_flash_pages);
+        buf.counter(|| "storage.gc_flash_pages".into(), self.gc_flash_pages);
+        buf.counter(
+            || "storage.summary_flash_pages".into(),
+            self.summary_flash_pages,
+        );
+        buf.counter(
+            || "storage.checkpoint_flash_pages".into(),
+            self.checkpoint_flash_pages,
+        );
+        buf.counter(|| "storage.reads_from_dram".into(), self.reads_from_dram);
+        buf.counter(|| "storage.reads_from_flash".into(), self.reads_from_flash);
+        buf.counter(|| "storage.hole_reads".into(), self.hole_reads);
+        buf.counter(|| "storage.gc_runs".into(), self.gc_runs);
+        buf.counter(|| "storage.wear_migrations".into(), self.wear_migrations);
+        buf.counter(|| "storage.gc_wait_ns".into(), self.gc_wait.as_nanos());
+        buf.gauge(
+            || "storage.buffer_occupancy".into(),
+            self.buffer_occupancy.level(),
+        );
+        buf.gauge(
+            || "storage.dirty_exposure".into(),
+            self.dirty_exposure.level(),
+        );
+        buf.gauge(
+            || "storage.write_traffic_reduction".into(),
+            self.write_traffic_reduction(),
+        );
+        buf.gauge(
+            || "storage.write_amplification".into(),
+            self.write_amplification(),
+        );
+        buf.gauge(
+            || "storage.dram_read_fraction".into(),
+            self.dram_read_fraction(),
+        );
     }
 }
 

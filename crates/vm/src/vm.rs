@@ -6,6 +6,7 @@ use crate::space::{AddressSpace, MappingKind, Perm};
 use crate::Result;
 use ssmc_device::{Dram, DramSpec};
 use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
+use ssmc_sim::timeline::SampleBuf;
 use ssmc_sim::{Energy, SharedClock, SimDuration, TimeWeighted};
 use ssmc_storage::{PageId, StorageManager};
 use std::collections::VecDeque;
@@ -170,6 +171,25 @@ impl Vm {
         for (component, e) in self.dram.energy().iter() {
             reg.counter(&format!("energy.vm_{component}_nj"), e.as_nanojoules());
         }
+    }
+
+    /// Timeline channels for the VM: the `vm.*` counters, the current
+    /// frame occupancy as a level, and the scalar DRAM energy total (the
+    /// per-component ledger grows lazily and cannot be a fixed-width
+    /// channel). Name closures only run during registration.
+    pub fn sample_timeline(&self, buf: &mut SampleBuf) {
+        buf.counter(|| "vm.faults".into(), self.metrics.faults);
+        buf.counter(|| "vm.minor_faults".into(), self.metrics.minor_faults);
+        buf.counter(|| "vm.major_faults".into(), self.metrics.major_faults);
+        buf.counter(|| "vm.cow_copies".into(), self.metrics.cow_copies);
+        buf.counter(|| "vm.pages_loaded".into(), self.metrics.pages_loaded);
+        buf.counter(|| "vm.swap_outs".into(), self.metrics.swap_outs);
+        buf.counter(|| "vm.swap_ins".into(), self.metrics.swap_ins);
+        buf.gauge(|| "vm.frames_used".into(), self.metrics.frames_used.level());
+        buf.counter(
+            || "energy.vm_total_nj".into(),
+            self.dram.energy().total().as_nanojoules(),
+        );
     }
 
     /// VM DRAM energy so far, or zero when the recorder is off (avoids

@@ -26,9 +26,11 @@ cargo bench -p ssmc-bench --bench simulator --offline -- --smoke
 # heap allocations per op (the dynamic half of the lint's H1 rule),
 # and a full million-op compiled stream must replay from disk with flat
 # memory — the streaming half decodes 1M records and asserts zero
-# allocation events past the warmup window. Full mode on purpose: the
-# guard workload coalesces heavily, so even the 1M stream takes only a
-# few seconds.
+# allocation events past the warmup window. Both windows now run with
+# the timeline sampler live (and assert rows were taken inside the
+# window), so this is also the sampler's zero-allocation proof. Full
+# mode on purpose: the guard workload coalesces heavily, so even the
+# 1M stream takes only a few seconds.
 cargo bench -p ssmc-bench --bench simulator --offline -- --alloc-guard
 
 # Throughput regression gate: re-measure every workload against the
@@ -56,6 +58,27 @@ cargo run --release --offline -p ssmc-bench --bin experiments -- \
     --trace-out "$TRACE_TMP/trace.json" --trace-ops 2000
 cargo run --release --offline -p ssmc-bench --bin trace-dump -- \
     "$TRACE_TMP/trace.json"
+
+# Timeline determinism + drift gate: regenerating the fixed-seed F2
+# timeline must reproduce the checked-in golden byte for byte (the
+# time-resolved analog of the results/ guard below), obs-diff must
+# report it clean (exit 0), and a run with an injected regression (a
+# shorter trace, so every cumulative metric lands low) must make
+# obs-diff exit non-zero. timeline-dump must render the artifact.
+cargo run --release --offline -p ssmc-bench --bin experiments -- \
+    --timeline-out "$TRACE_TMP/f2.tl" --trace-ops 2000 --sample-interval 1000
+cmp "$TRACE_TMP/f2.tl" goldens/f2_timeline.tl
+cargo run --release --offline -p ssmc-bench --bin obs-diff -- \
+    "$TRACE_TMP/f2.tl" goldens/f2_timeline.tl
+cargo run --release --offline -p ssmc-bench --bin experiments -- \
+    --timeline-out "$TRACE_TMP/f2_short.tl" --trace-ops 1500 --sample-interval 1000
+if cargo run --release --offline -p ssmc-bench --bin obs-diff -- \
+    "$TRACE_TMP/f2_short.tl" goldens/f2_timeline.tl >/dev/null 2>&1; then
+    echo "obs-diff failed to flag an injected regression" >&2
+    exit 1
+fi
+cargo run --release --offline -p ssmc-bench --bin timeline-dump -- \
+    "$TRACE_TMP/f2.tl" >/dev/null
 
 # Behaviour guard: regenerating every experiment must leave results/
 # untouched — refactors of the hot path may not move a single byte of
