@@ -33,6 +33,12 @@ pub struct MobileComputer {
     /// and kept filled with the 0xA5 pattern at all times, so a write of
     /// any length slices it without a per-operation memset.
     write_scratch: Vec<u8>,
+    /// Reusable scratch for formatting trace-file paths; a second buffer
+    /// exists because `Rename` needs two live paths at once. Capacity is
+    /// retained across operations, so path-based ops stop allocating
+    /// once the longest file id has been seen.
+    path_scratch: String,
+    rename_scratch: String,
     drained: Energy,
     last_maintain: SimTime,
     recorder: Recorder,
@@ -72,6 +78,8 @@ impl MobileComputer {
         MobileComputer {
             trace_files: DenseIndex::new(1 << 16),
             write_scratch: Vec::new(),
+            path_scratch: String::new(),
+            rename_scratch: String::new(),
             drained: Energy::ZERO,
             last_maintain: clock.now(),
             recorder: Recorder::disabled(),
@@ -370,15 +378,22 @@ impl MobileComputer {
         self.fs.sync()
     }
 
-    fn trace_path(file: FileId) -> String {
-        format!("/t{file}")
+    /// Formats the trace-file path for `file` into `buf`, reusing its
+    /// capacity. `write!` into a `String` is infallible, so the result
+    /// is ignored rather than unwrapped.
+    fn trace_path_into(buf: &mut String, file: FileId) -> &str {
+        use std::fmt::Write as _;
+        buf.clear();
+        let _ = write!(buf, "/t{file}");
+        buf
     }
 
     fn trace_fd(&mut self, file: FileId) -> Result<u64, FsError> {
         if let Some(fd) = self.trace_files.get(file) {
             return Ok(fd);
         }
-        let fd = self.fs.open(&Self::trace_path(file), OpenMode::Write)?;
+        let path = Self::trace_path_into(&mut self.path_scratch, file);
+        let fd = self.fs.open(path, OpenMode::Write)?;
         self.trace_files.insert(file, fd);
         Ok(fd)
     }
@@ -390,7 +405,7 @@ impl MobileComputer {
     fn apply_op(&mut self, op: &FileOp) -> Result<(), FsError> {
         match *op {
             FileOp::Create { file } => {
-                let fd = self.fs.create(&Self::trace_path(file))?;
+                let fd = self.fs.create(Self::trace_path_into(&mut self.path_scratch, file))?;
                 self.trace_files.insert(file, fd);
             }
             FileOp::Write { file, offset, len } => {
@@ -413,14 +428,16 @@ impl MobileComputer {
             }
             FileOp::Delete { file } => {
                 self.trace_files.remove(file);
-                self.fs.unlink(&Self::trace_path(file))?;
+                self.fs.unlink(Self::trace_path_into(&mut self.path_scratch, file))?;
             }
             FileOp::Stat { file } => {
-                self.fs.stat(&Self::trace_path(file))?;
+                self.fs.stat(Self::trace_path_into(&mut self.path_scratch, file))?;
             }
             FileOp::Rename { file, to } => {
-                self.fs
-                    .rename(&Self::trace_path(file), &Self::trace_path(to))?;
+                self.fs.rename(
+                    Self::trace_path_into(&mut self.path_scratch, file),
+                    Self::trace_path_into(&mut self.rename_scratch, to),
+                )?;
                 if let Some(fd) = self.trace_files.get(file) {
                     self.trace_files.remove(file);
                     self.trace_files.insert(to, fd);

@@ -259,6 +259,7 @@ impl Disk {
     }
 
     fn access(&mut self, addr: u64, len: u64) -> SimDuration {
+        // lint: allow(E1): spin_up charges "disk.spin_up" for the spin-up window, access charges "disk.active" for the transfer window — disjoint accounts over disjoint intervals, not double counting
         self.spin_up();
         let start = self.clock.now();
         let latency = self.service_estimate(addr, len);

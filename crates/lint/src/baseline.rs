@@ -1,0 +1,304 @@
+//! The `lint-baseline.json` suppression file for interprocedural
+//! findings.
+//!
+//! Edge-level `// lint: allow(RULE)` directives are the right tool for a
+//! handful of argued exceptions; the baseline is for *bulk* acceptance
+//! of pre-existing findings (e.g. every `.clone()` a hot path can reach
+//! through the conservative call graph). Each entry records the exact
+//! finding population it covers — (rule, file, function, site kind,
+//! count) — plus a written reason, and rule B1 fails the run the moment
+//! the tree drifts from that record in either direction, so the file
+//! cannot silently absorb new violations (the same hygiene contract A1
+//! enforces for inline allows).
+//!
+//! Regenerate with `ssmc-lint --workspace --write-baseline`; reasons on
+//! surviving entries are carried over, new entries get a placeholder
+//! that B1 rejects until a human replaces it.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::graph::GraphFinding;
+use ssmc_sim::report::Value;
+
+/// One baseline entry: suppresses `count` findings of `rule` keyed by
+/// (file, func, what).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: Rule,
+    pub file: String,
+    /// Qualified name of the function containing the finding.
+    pub func: String,
+    /// Site kind (`.clone()`, `indexing`, …); for E1 the callee's
+    /// qualified name.
+    pub what: String,
+    pub count: u32,
+    pub reason: String,
+}
+
+/// The reason `--write-baseline` stamps on entries it cannot inherit a
+/// human-written reason for. B1 reports it until replaced.
+pub const UNREVIEWED: &str = "UNREVIEWED";
+
+/// Parses `lint-baseline.json`. Malformed files or entries become B1
+/// diagnostics; well-formed entries parse even when others are broken.
+pub fn parse(path_label: &str, text: &str) -> (Vec<BaselineEntry>, Vec<Diagnostic>) {
+    let mut entries = Vec::new();
+    let mut diags = Vec::new();
+    let mut bad = |msg: String| {
+        diags.push(Diagnostic {
+            file: path_label.to_owned(),
+            line: 1,
+            rule: Rule::B1,
+            message: msg,
+        });
+    };
+    let root = match Value::decode(text) {
+        Ok(v) => v,
+        Err(e) => {
+            bad(format!("unparseable baseline file: {e:?}"));
+            return (entries, diags);
+        }
+    };
+    let Some(items) = root.get("entries").and_then(Value::as_array) else {
+        bad("baseline file has no `entries` array".to_owned());
+        return (entries, diags);
+    };
+    for (i, item) in items.iter().enumerate() {
+        let field = |k: &str| item.get(k).and_then(Value::as_str).map(str::to_owned);
+        let (rule_name, file, func, what) =
+            match (field("rule"), field("file"), field("func"), field("what")) {
+                (Some(r), Some(f), Some(fun), Some(w)) => (r, f, fun, w),
+                _ => {
+                    bad(format!("baseline entry {i} is missing rule/file/func/what"));
+                    continue;
+                }
+            };
+        let Some(rule) = Rule::parse(&rule_name) else {
+            bad(format!("baseline entry {i} names unknown rule `{rule_name}`"));
+            continue;
+        };
+        let Some(count) = item.get("count").and_then(Value::as_i64).filter(|&c| c > 0) else {
+            bad(format!("baseline entry {i} needs a positive `count`"));
+            continue;
+        };
+        let reason = field("reason").unwrap_or_default();
+        if reason.trim().len() < 10 || reason.trim() == UNREVIEWED {
+            bad(format!(
+                "baseline entry {i} ({rule_name} {func} {what}) needs a written reason (ten characters minimum)"
+            ));
+            // Keep the entry: an unjustified entry still suppresses, so
+            // the only actionable diagnostic is the missing reason, not
+            // a wall of re-reported findings.
+        }
+        entries.push(BaselineEntry { rule, file, func, what, count: count as u32, reason });
+    }
+    (entries, diags)
+}
+
+/// Applies the baseline to the interprocedural findings: findings whose
+/// (rule, file, func, what) key matches an entry are suppressed; an
+/// entry whose live finding count differs from its recorded `count` (in
+/// either direction, including zero) produces a B1 staleness report.
+/// Returns the surviving findings' diagnostics plus the B1 reports.
+pub fn apply(
+    path_label: &str,
+    entries: &[BaselineEntry],
+    findings: Vec<GraphFinding>,
+) -> Vec<Diagnostic> {
+    let mut live = vec![0u32; entries.len()];
+    let mut out = Vec::new();
+    for f in findings {
+        let hit = entries.iter().position(|e| {
+            e.rule == f.diag.rule && e.file == f.diag.file && e.func == f.func && e.what == f.what
+        });
+        match hit {
+            Some(i) => live[i] += 1,
+            None => out.push(f.diag),
+        }
+    }
+    for (e, &n) in entries.iter().zip(&live) {
+        if n != e.count {
+            out.push(Diagnostic {
+                file: path_label.to_owned(),
+                line: 1,
+                rule: Rule::B1,
+                message: format!(
+                    "stale baseline entry ({} {} {}): records {} finding{}, tree has {} — regenerate with --write-baseline",
+                    e.rule,
+                    e.func,
+                    e.what,
+                    e.count,
+                    if e.count == 1 { "" } else { "s" },
+                    n
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Builds a fresh baseline from the current findings, inheriting reasons
+/// from `old` entries with the same key and stamping [`UNREVIEWED`] on
+/// new ones. Output order is the stable (rule, file, func, what) sort.
+pub fn generate(findings: &[GraphFinding], old: &[BaselineEntry]) -> Vec<BaselineEntry> {
+    let mut fresh: Vec<BaselineEntry> = Vec::new();
+    for f in findings {
+        match fresh.iter_mut().find(|e| {
+            e.rule == f.diag.rule && e.file == f.diag.file && e.func == f.func && e.what == f.what
+        }) {
+            Some(e) => e.count += 1,
+            None => {
+                let reason = old
+                    .iter()
+                    .find(|e| {
+                        e.rule == f.diag.rule
+                            && e.file == f.diag.file
+                            && e.func == f.func
+                            && e.what == f.what
+                    })
+                    .map(|e| e.reason.clone())
+                    .unwrap_or_else(|| UNREVIEWED.to_owned());
+                fresh.push(BaselineEntry {
+                    rule: f.diag.rule,
+                    file: f.diag.file.clone(),
+                    func: f.func.clone(),
+                    what: f.what.clone(),
+                    count: 1,
+                    reason,
+                });
+            }
+        }
+    }
+    fresh.sort_by(|a, b| {
+        (a.rule, &a.file, &a.func, &a.what).cmp(&(b.rule, &b.file, &b.func, &b.what))
+    });
+    fresh
+}
+
+/// Encodes entries as the checked-in JSON document.
+pub fn encode(entries: &[BaselineEntry]) -> String {
+    let items: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            Value::object(vec![
+                ("rule", Value::Str(e.rule.name().to_owned())),
+                ("file", Value::Str(e.file.clone())),
+                ("func", Value::Str(e.func.clone())),
+                ("what", Value::Str(e.what.clone())),
+                ("count", Value::Int(i64::from(e.count))),
+                ("reason", Value::Str(e.reason.clone())),
+            ])
+        })
+        .collect();
+    let mut text = Value::object(vec![("entries", Value::Array(items))]).encode_pretty();
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, file: &str, func: &str, what: &str) -> GraphFinding {
+        GraphFinding {
+            diag: Diagnostic {
+                file: file.to_owned(),
+                line: 10,
+                rule,
+                message: "m".to_owned(),
+            },
+            func: func.to_owned(),
+            what: what.to_owned(),
+        }
+    }
+
+    fn entry(rule: Rule, file: &str, func: &str, what: &str, count: u32) -> BaselineEntry {
+        BaselineEntry {
+            rule,
+            file: file.to_owned(),
+            func: func.to_owned(),
+            what: what.to_owned(),
+            count,
+            reason: "bounded scratch reuse, measured clean".to_owned(),
+        }
+    }
+
+    #[test]
+    fn matching_count_suppresses_cleanly() {
+        let e = entry(Rule::H2, "a.rs", "q::f", ".clone()", 2);
+        let fs = vec![
+            finding(Rule::H2, "a.rs", "q::f", ".clone()"),
+            finding(Rule::H2, "a.rs", "q::f", ".clone()"),
+        ];
+        assert!(apply("lint-baseline.json", &[e], fs).is_empty());
+    }
+
+    #[test]
+    fn drift_in_either_direction_is_b1() {
+        let e = entry(Rule::H2, "a.rs", "q::f", ".clone()", 2);
+        // Fewer findings than recorded: entry is stale.
+        let one = vec![finding(Rule::H2, "a.rs", "q::f", ".clone()")];
+        let diags = apply("lint-baseline.json", &[e.clone()], one);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::B1);
+        assert!(diags[0].message.contains("records 2"), "{}", diags[0].message);
+        // More findings than recorded: also stale (growth cannot hide).
+        let three = vec![
+            finding(Rule::H2, "a.rs", "q::f", ".clone()"),
+            finding(Rule::H2, "a.rs", "q::f", ".clone()"),
+            finding(Rule::H2, "a.rs", "q::f", ".clone()"),
+        ];
+        let diags = apply("lint-baseline.json", &[e], three);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("tree has 3"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn unmatched_findings_pass_through() {
+        let e = entry(Rule::H2, "a.rs", "q::f", ".clone()", 1);
+        let fs = vec![
+            finding(Rule::H2, "a.rs", "q::f", ".clone()"),
+            finding(Rule::P1, "b.rs", "q::g", "indexing"),
+        ];
+        let diags = apply("lint-baseline.json", &[e], fs);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::P1);
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let entries = vec![
+            entry(Rule::H2, "a.rs", "q::f", ".clone()", 2),
+            entry(Rule::E1, "b.rs", "q::g", "q::h", 1),
+        ];
+        let (back, diags) = parse("lint-baseline.json", &encode(&entries));
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn unreviewed_reason_is_b1_but_still_suppresses() {
+        let mut e = entry(Rule::H2, "a.rs", "q::f", ".clone()", 1);
+        e.reason = UNREVIEWED.to_owned();
+        let (parsed, diags) = parse("lint-baseline.json", &encode(&[e]));
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::B1);
+        assert!(diags[0].message.contains("written reason"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn generate_inherits_reasons_and_orders_stably() {
+        let old = vec![entry(Rule::H2, "a.rs", "q::f", ".clone()", 5)];
+        let fs = vec![
+            finding(Rule::P1, "b.rs", "q::g", "indexing"),
+            finding(Rule::H2, "a.rs", "q::f", ".clone()"),
+            finding(Rule::H2, "a.rs", "q::f", ".clone()"),
+        ];
+        let fresh = generate(&fs, &old);
+        assert_eq!(fresh.len(), 2);
+        assert_eq!((fresh[0].rule, fresh[0].count), (Rule::H2, 2));
+        assert_eq!(fresh[0].reason, "bounded scratch reuse, measured clean");
+        assert_eq!((fresh[1].rule, fresh[1].count), (Rule::P1, 1));
+        assert_eq!(fresh[1].reason, UNREVIEWED);
+    }
+}

@@ -27,11 +27,21 @@ pub enum TokKind {
     Comment(String),
 }
 
-/// A token plus the 1-based line it starts on.
+/// A token plus the 1-based line it starts on and the brace-nesting
+/// depth it sits at.
+///
+/// `depth` counts unclosed `{` braces enclosing the token: a top-level
+/// item keyword is at depth 0, tokens inside its body at depth 1, and
+/// so on. An opening `{` carries the depth *outside* it and its matching
+/// `}` carries that same depth, so a matching pair is "the next `}` at
+/// the same depth" — the item parser leans on this instead of re-running
+/// heuristic scans, which is what makes hot-path span detection robust
+/// against nested items and multi-line signatures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tok {
     pub kind: TokKind,
     pub line: u32,
+    pub depth: u32,
 }
 
 impl Tok {
@@ -62,12 +72,13 @@ struct Lexer<'a> {
     bytes: &'a [u8],
     pos: usize,
     line: u32,
+    depth: u32,
     out: Vec<Tok>,
 }
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { bytes: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }
+        Lexer { bytes: src.as_bytes(), pos: 0, line: 1, depth: 0, out: Vec::new() }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -106,7 +117,21 @@ impl<'a> Lexer<'a> {
                     // comments in valid Rust; continuation bytes reaching
                     // here (e.g. in malformed input) are dropped.
                     if c.is_ascii() {
-                        self.out.push(Tok { kind: TokKind::Punct(c), line });
+                        // `{` carries the depth outside it; `}` carries the
+                        // depth of its matching `{`.
+                        let depth = match c {
+                            '{' => {
+                                let d = self.depth;
+                                self.depth += 1;
+                                d
+                            }
+                            '}' => {
+                                self.depth = self.depth.saturating_sub(1);
+                                self.depth
+                            }
+                            _ => self.depth,
+                        };
+                        self.out.push(Tok { kind: TokKind::Punct(c), line, depth });
                     }
                 }
             }
@@ -126,7 +151,7 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
-        self.out.push(Tok { kind: TokKind::Comment(text), line });
+        self.out.push(Tok { kind: TokKind::Comment(text), line, depth: self.depth });
     }
 
     fn block_comment(&mut self) {
@@ -155,7 +180,7 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
-        self.out.push(Tok { kind: TokKind::Comment(text), line });
+        self.out.push(Tok { kind: TokKind::Comment(text), line, depth: self.depth });
     }
 
     fn string_lit(&mut self) {
@@ -170,7 +195,7 @@ impl<'a> Lexer<'a> {
                 _ => {}
             }
         }
-        self.out.push(Tok { kind: TokKind::Lit, line });
+        self.out.push(Tok { kind: TokKind::Lit, line, depth: self.depth });
     }
 
     /// Raw string bodies: the caller has consumed the `r`/`br` prefix;
@@ -195,7 +220,7 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        self.out.push(Tok { kind: TokKind::Lit, line });
+        self.out.push(Tok { kind: TokKind::Lit, line, depth: self.depth });
     }
 
     /// `'` starts either a char literal or a lifetime.
@@ -228,7 +253,7 @@ impl<'a> Lexer<'a> {
                 _ => {}
             }
         }
-        self.out.push(Tok { kind: TokKind::Lit, line });
+        self.out.push(Tok { kind: TokKind::Lit, line, depth: self.depth });
     }
 
     fn number_lit(&mut self) {
@@ -245,7 +270,7 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        self.out.push(Tok { kind: TokKind::Lit, line });
+        self.out.push(Tok { kind: TokKind::Lit, line, depth: self.depth });
     }
 
     fn ident_or_prefixed_lit(&mut self) {
@@ -282,13 +307,13 @@ impl<'a> Lexer<'a> {
                         _ => {}
                     }
                 }
-                self.out.push(Tok { kind: TokKind::Lit, line });
+                self.out.push(Tok { kind: TokKind::Lit, line, depth: self.depth });
                 return;
             }
             _ => {}
         }
         let text = String::from_utf8_lossy(text).into_owned();
-        self.out.push(Tok { kind: TokKind::Ident(text), line });
+        self.out.push(Tok { kind: TokKind::Ident(text), line, depth: self.depth });
     }
 }
 

@@ -1,23 +1,31 @@
 //! `ssmc-lint`: the in-tree invariant linter.
 //!
 //! A dependency-free static analysis pass over every workspace `.rs`
-//! file, enforcing the determinism, hermeticity, and hot-path allocation
-//! rules catalogued in DESIGN.md §Static analysis. The linter is built
-//! from a hand-rolled lexer ([`lexer`]) and a token-pattern rule engine
-//! ([`rules`]); it deliberately has no external dependencies, because
-//! rule D4 is the property that keeps it that way.
+//! file, enforcing the determinism, hermeticity, hot-path, and
+//! energy-attribution rules catalogued in DESIGN.md §8. The linter is
+//! built from a hand-rolled lexer ([`lexer`]), a token-pattern rule
+//! engine ([`rules`]), and a lightweight item parser ([`parse`]) that
+//! feeds a workspace-wide call graph ([`graph`]) for the
+//! interprocedural passes (H2/P1/E1). Bulk suppressions live in
+//! `lint-baseline.json` ([`baseline`]). It deliberately has no external
+//! dependencies, because rule D4 is the property that keeps it that way.
 //!
 //! Run it with `cargo run -p ssmc-lint -- --workspace`.
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 pub use diag::{run_to_report, Diagnostic, Rule};
 pub use rules::lint_source;
 
+use rules::{analyze_source, apply_allows, stale_allow_diags, AllowEntry};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -25,6 +33,10 @@ use std::path::{Path, PathBuf};
 /// Directories never descended into: build output, VCS metadata, and the
 /// linter's own fixture corpus (which exists to violate the rules).
 const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// Display label for baseline diagnostics; also the file's location
+/// relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
 
 /// Maps a repo-relative path to the cargo package that owns it:
 /// `crates/<name>/...` → `ssmc-<name>`, everything else → the root
@@ -39,20 +51,168 @@ pub fn crate_for_path(rel: &str) -> String {
     "ssmc".to_owned()
 }
 
-/// Lints every `.rs` file under `root` (the workspace root). Returns the
-/// number of files checked plus all diagnostics, sorted by path.
+/// The result of a full workspace run.
+pub struct WorkspaceAnalysis {
+    pub checked_files: usize,
+    pub graph: graph::CallGraph,
+    /// Interprocedural findings after inline allows, before the
+    /// baseline filter — the population `--write-baseline` records.
+    pub graph_findings: Vec<graph::GraphFinding>,
+    /// The parsed baseline entries in effect for this run.
+    pub baseline: Vec<baseline::BaselineEntry>,
+    /// Final diagnostics: per-file rules, baseline-filtered
+    /// interprocedural findings, and A1/B1 hygiene, sorted by
+    /// (file, line, rule).
+    pub diags: Vec<Diagnostic>,
+}
+
+/// Lints every `.rs` file under `root` (the workspace root), including
+/// the interprocedural passes and the baseline filter. Backwards-
+/// compatible wrapper around [`analyze_workspace`].
 pub fn lint_workspace(root: &Path) -> io::Result<(usize, Vec<Diagnostic>)> {
+    let a = analyze_workspace(root)?;
+    Ok((a.checked_files, a.diags))
+}
+
+/// The full pipeline: per-file rules, call-graph construction, the
+/// interprocedural passes, baseline filtering, and allow/baseline
+/// hygiene.
+pub fn analyze_workspace(root: &Path) -> io::Result<WorkspaceAnalysis> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut diags = Vec::new();
+
+    let mut parsed_files = Vec::new();
+    // Per file: (path, per-file findings pre-allow, allows, final diags).
+    let mut per_file: Vec<(String, Vec<Diagnostic>, Vec<AllowEntry>, Vec<Diagnostic>)> = Vec::new();
     for rel in &files {
         let src = fs::read_to_string(root.join(rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         let krate = crate_for_path(&rel_str);
-        diags.extend(lint_source(&rel_str, &krate, &src));
+        let a = analyze_source(&rel_str, &krate, &src);
+        parsed_files.push(a.parsed);
+        per_file.push((rel_str, a.findings, a.allows, a.diags));
     }
-    Ok((files.len(), diags))
+
+    let deps = crate_deps_from_manifests(root).unwrap_or_else(|_| graph::CrateDeps::permissive());
+    let call_graph = graph::CallGraph::build(&parsed_files, &deps);
+
+    // Per-file rules consume their allows first, then the graph passes
+    // get a shot at the rest; A1 staleness is judged only after both.
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for (_, findings, allows, immediate) in &mut per_file {
+        diags.append(immediate);
+        let survivors = apply_allows(std::mem::take(findings), allows);
+        diags.extend(survivors);
+    }
+
+    let mut allow_view = graph::Allows {
+        by_file: per_file
+            .iter_mut()
+            .map(|(path, _, allows, _)| (path.as_str(), allows.as_mut_slice()))
+            .collect(),
+    };
+    let graph_findings = graph::run_passes(&call_graph, &mut allow_view);
+
+    let baseline_path = root.join(BASELINE_FILE);
+    let (entries, baseline_diags) = match fs::read_to_string(&baseline_path) {
+        Ok(text) => baseline::parse(BASELINE_FILE, &text),
+        Err(_) => (Vec::new(), Vec::new()), // absent baseline: nothing suppressed
+    };
+    diags.extend(baseline_diags);
+    diags.extend(baseline::apply(BASELINE_FILE, &entries, graph_findings.clone()));
+
+    for (path, _, allows, _) in &per_file {
+        diags.extend(stale_allow_diags(path, allows));
+    }
+
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+
+    Ok(WorkspaceAnalysis {
+        checked_files: files.len(),
+        graph: call_graph,
+        graph_findings,
+        baseline: entries,
+        diags,
+    })
+}
+
+/// Runs the full pipeline (per-file rules + interprocedural passes) over
+/// an in-memory file set — the harness for multi-file fixtures. Crate
+/// dependencies are permissive and no baseline applies.
+pub fn lint_files(files: &[(&str, &str, &str)]) -> Vec<Diagnostic> {
+    let mut parsed_files = Vec::new();
+    let mut per_file: Vec<(String, Vec<Diagnostic>, Vec<AllowEntry>, Vec<Diagnostic>)> = Vec::new();
+    for (path, krate, src) in files {
+        let a = analyze_source(path, krate, src);
+        parsed_files.push(a.parsed);
+        per_file.push(((*path).to_owned(), a.findings, a.allows, a.diags));
+    }
+    let call_graph = graph::CallGraph::build(&parsed_files, &graph::CrateDeps::permissive());
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for (_, findings, allows, immediate) in &mut per_file {
+        diags.append(immediate);
+        let survivors = apply_allows(std::mem::take(findings), allows);
+        diags.extend(survivors);
+    }
+    let mut allow_view = graph::Allows {
+        by_file: per_file
+            .iter_mut()
+            .map(|(path, _, allows, _)| (path.as_str(), allows.as_mut_slice()))
+            .collect(),
+    };
+    diags.extend(graph::run_passes(&call_graph, &mut allow_view).into_iter().map(|f| f.diag));
+    for (path, _, allows, _) in &per_file {
+        diags.extend(stale_allow_diags(path, allows));
+    }
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    diags
+}
+
+/// Reads the direct `ssmc-*` dependency edges out of every package
+/// manifest (`[dependencies]` tables only — dev-dependencies feed test
+/// code, which never contributes call edges) and closes them
+/// transitively. A crate the map does not know stays permissive.
+fn crate_deps_from_manifests(root: &Path) -> io::Result<graph::CrateDeps> {
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut add_manifest = |name: &str, text: &str| {
+        let mut deps = BTreeSet::new();
+        let mut in_deps = false;
+        for line in text.lines() {
+            let l = line.trim();
+            if l.starts_with('[') {
+                in_deps = l.starts_with("[dependencies");
+                continue;
+            }
+            if in_deps {
+                if let Some((key, _)) = l.split_once('=') {
+                    let key = key.trim().split('.').next().unwrap_or("").trim();
+                    if key.starts_with("ssmc") {
+                        deps.insert(key.to_owned());
+                    }
+                }
+            }
+        }
+        direct.insert(name.to_owned(), deps);
+    };
+    if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
+        add_manifest("ssmc", &text);
+    }
+    for entry in fs::read_dir(root.join("crates"))? {
+        let entry = entry?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = format!("ssmc-{}", entry.file_name().to_string_lossy());
+        if let Ok(text) = fs::read_to_string(entry.path().join("Cargo.toml")) {
+            add_manifest(&name, &text);
+        }
+    }
+    Ok(graph::CrateDeps::from_direct(&direct))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -86,5 +246,18 @@ mod tests {
         assert_eq!(crate_for_path("src/lib.rs"), "ssmc");
         assert_eq!(crate_for_path("tests/determinism.rs"), "ssmc");
         assert_eq!(crate_for_path("examples/replay.rs"), "ssmc");
+    }
+
+    #[test]
+    fn lint_files_runs_interprocedural_passes() {
+        let caller = "// lint: hot-path\npub fn hot() { crate::help::helper(); }\n";
+        let helper = "pub fn helper(&self) { let v = vec![1]; }\n";
+        let diags = lint_files(&[
+            ("crates/storage/src/manager.rs", "ssmc-storage", caller),
+            ("crates/storage/src/help.rs", "ssmc-storage", helper),
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::H2);
+        assert!(diags[0].message.contains("hot → helper"), "{}", diags[0].message);
     }
 }

@@ -2,6 +2,10 @@
 //! (`#[cfg(test)]` bodies, `// lint: hot-path` functions), and the
 //! per-site allow directive machinery.
 //!
+//! Per-file rules live here; the interprocedural passes (H2/P1/E1) live
+//! in [`crate::graph`] and consume the [`FileAnalysis`] this module
+//! produces, so a file is lexed and parsed exactly once per run.
+//!
 //! # Allow directives
 //!
 //! A finding is suppressed by an allow comment on the same line or the
@@ -16,10 +20,12 @@
 
 use crate::diag::{Diagnostic, Rule};
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parse::{self, matches_at, ParsedFile, Pat, ALLOC_PATTERNS};
 use std::collections::BTreeSet;
 
 /// Crates whose simulation results must be run-to-run deterministic.
-/// Rule D2 (unordered-container iteration) applies only to these.
+/// Rules D2 (unordered-container iteration) and U2 (dimensional-suffix
+/// mixing) apply only to these.
 const SIM_CRATES: [&str; 8] = [
     "ssmc-core",
     "ssmc-storage",
@@ -65,66 +71,90 @@ const SYNC_PRIMITIVES: [&str; 13] = [
     "AtomicPtr",
 ];
 
-/// Allocation-prone token patterns rejected inside hot-path functions
-/// (H1). Each entry is (pattern, needs-leading-dot, human name).
-/// Patterns are matched against comment-free tokens; `::` appears as two
-/// `:` puncts.
-const H1_PATTERNS: &[(&[Pat], bool, &str)] = &[
-    (&[Pat::Id("Box"), Pat::P(':'), Pat::P(':'), Pat::Id("new")], false, "Box::new"),
-    (&[Pat::Id("Vec"), Pat::P(':'), Pat::P(':'), Pat::Id("new")], false, "Vec::new"),
-    (&[Pat::Id("vec"), Pat::P('!')], false, "vec! macro"),
-    (&[Pat::Id("format"), Pat::P('!')], false, "format! macro"),
-    (&[Pat::Id("String"), Pat::P(':'), Pat::P(':'), Pat::Id("from")], false, "String::from"),
-    (&[Pat::Id("to_vec")], true, ".to_vec()"),
-    (&[Pat::Id("to_string")], true, ".to_string()"),
-    (&[Pat::Id("to_owned")], true, ".to_owned()"),
-    (&[Pat::Id("clone")], true, ".clone()"),
-    (&[Pat::Id("collect")], true, ".collect()"),
-];
+/// Time-unit identifier suffixes, one per power of a thousand (U2).
+const TIME_SUFFIXES: [&str; 3] = ["_ns", "_us", "_ms"];
 
-/// A token pattern element.
-#[derive(Debug, Clone, Copy)]
-enum Pat {
-    Id(&'static str),
-    P(char),
-}
-
-fn matches_at(sig: &[&Tok], i: usize, pat: &[Pat]) -> bool {
-    if i + pat.len() > sig.len() {
-        return false;
-    }
-    pat.iter().enumerate().all(|(k, p)| match p {
-        Pat::Id(s) => sig[i + k].ident() == Some(s),
-        Pat::P(c) => sig[i + k].is_punct(*c),
-    })
-}
+/// Energy-unit identifier suffixes (U2).
+const ENERGY_SUFFIXES: [&str; 2] = ["_nj", "_mj"];
 
 /// An inclusive range of source lines.
-#[derive(Debug, Clone, Copy)]
-struct LineSpan {
-    start: u32,
-    end: u32,
-}
-
-fn in_spans(line: u32, spans: &[LineSpan]) -> bool {
-    spans.iter().any(|s| line >= s.start && line <= s.end)
+fn in_spans(line: u32, spans: &[(u32, u32)]) -> bool {
+    spans.iter().any(|&(s, e)| line >= s && line <= e)
 }
 
 /// A parsed `lint: allow(RULE): justification` directive. It suppresses
 /// findings of `rule` on its own line (trailing directive) or on
 /// `target_line` — the next line below it that holds code, so a
 /// justification may span several comment lines.
-struct AllowDirective {
-    line: u32,
-    target_line: u32,
-    rule: Rule,
-    used: bool,
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub line: u32,
+    pub target_line: u32,
+    pub rule: Rule,
+    pub used: bool,
 }
 
-/// Lints one source file. `path` is the repo-relative display path;
-/// `crate_name` decides rule scope (`ssmc`, `ssmc-bench`, `ssmc-lint`,
-/// or a simulator crate).
+/// Everything one pass over a source file produces: the parsed item
+/// skeleton (input to the call graph), the per-file rule findings
+/// *before* allow application, the file's allow directives, and any
+/// immediately-final diagnostics (malformed directives).
+pub struct FileAnalysis {
+    pub parsed: ParsedFile,
+    pub findings: Vec<Diagnostic>,
+    pub allows: Vec<AllowEntry>,
+    pub diags: Vec<Diagnostic>,
+}
+
+/// Lints one source file in isolation (per-file rules only). `path` is
+/// the repo-relative display path; `crate_name` decides rule scope
+/// (`ssmc`, `ssmc-bench`, `ssmc-lint`, or a simulator crate).
+///
+/// This is the legacy single-file entry point: allow application and A1
+/// staleness are decided within the file. The workspace pipeline uses
+/// [`analyze_source`] instead so the interprocedural passes can consume
+/// allows before staleness is judged.
 pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
+    let mut a = analyze_source(path, crate_name, src);
+    let mut diags = std::mem::take(&mut a.diags);
+    diags.extend(apply_allows(a.findings, &mut a.allows));
+    diags.extend(stale_allow_diags(path, &a.allows));
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Filters `findings` through `allows`, marking used directives. Returns
+/// the findings that survive.
+pub fn apply_allows(findings: Vec<Diagnostic>, allows: &mut [AllowEntry]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for d in findings {
+        let allowed = allows
+            .iter_mut()
+            .find(|a| a.rule == d.rule && (a.line == d.line || a.target_line == d.line));
+        match allowed {
+            Some(a) => a.used = true,
+            None => out.push(d),
+        }
+    }
+    out
+}
+
+/// A1 reports for directives that suppressed nothing.
+pub fn stale_allow_diags(path: &str, allows: &[AllowEntry]) -> Vec<Diagnostic> {
+    allows
+        .iter()
+        .filter(|a| !a.used)
+        .map(|a| Diagnostic {
+            file: path.to_owned(),
+            line: a.line,
+            rule: Rule::A1,
+            message: format!("stale allow({}): no matching finding at its target line", a.rule),
+        })
+        .collect()
+}
+
+/// Runs the lexer, the item parser, and every per-file rule over one
+/// source file. Allow directives are parsed but not applied.
+pub fn analyze_source(path: &str, crate_name: &str, src: &str) -> FileAnalysis {
     let toks = lex(src);
     // Comment-free view for pattern matching; comments would otherwise
     // break adjacency in sequences like `Box :: new`.
@@ -133,10 +163,19 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
         .filter(|t| !matches!(t.kind, TokKind::Comment(_)))
         .collect();
 
-    let test_spans = find_cfg_test_spans(&sig);
-    let hot_spans = find_hot_spans(&toks, &sig);
+    let parsed = parse::parse_file(path, crate_name, &toks);
+    let test_spans = parsed.test_spans.clone();
+    // Hot-path spans come from the item parser: exact fn boundaries via
+    // brace matching, so nested items and multi-line signatures (or a
+    // const-generic brace in a return type) cannot truncate the span.
+    let hot_spans: Vec<(u32, u32)> = parsed
+        .fns
+        .iter()
+        .filter(|f| f.is_hot)
+        .map(|f| (f.sig_line, f.end_line))
+        .collect();
     let local_roots = collect_local_roots(&sig);
-    let (mut allows, mut diags) = parse_allow_directives(path, &toks);
+    let (mut allows, diags) = parse_allow_directives(path, &toks);
     for a in &mut allows {
         a.target_line = sig
             .iter()
@@ -256,7 +295,7 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
 
         // H1 — allocation-prone calls inside `// lint: hot-path` fns.
         if !in_test && in_spans(line, &hot_spans) {
-            for (pat, needs_dot, name) in H1_PATTERNS {
+            for (pat, needs_dot, name) in ALLOC_PATTERNS {
                 if matches_at(&sig, i, pat) {
                     if *needs_dot && !(i > 0 && sig[i - 1].is_punct('.')) {
                         continue;
@@ -287,44 +326,111 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
         }
     }
 
-    // Apply allow directives: a directive on line L suppresses findings
-    // of its rule on line L or L+1.
-    for d in findings {
-        let allowed = allows.iter_mut().find(|a| {
-            a.rule == d.rule && (a.line == d.line || a.target_line == d.line)
-        });
-        match allowed {
-            Some(a) => a.used = true,
-            None => diags.push(d),
+    // U2 — dimensional-suffix mixing (statement-granular, so it gets its
+    // own scan instead of the per-token loop above).
+    if is_sim {
+        for (line, msg) in unit_mixing_findings(&sig, &test_spans) {
+            push(&mut findings, line, Rule::U2, msg);
         }
     }
 
-    // Stale directives are findings too — the allowlist must not rot.
-    for a in &allows {
-        if !a.used {
-            diags.push(Diagnostic {
-                file: path.to_owned(),
-                line: a.line,
-                rule: Rule::A1,
-                message: format!(
-                    "stale allow({}): no matching finding at its target line",
-                    a.rule
-                ),
-            });
-        }
-    }
+    FileAnalysis { parsed, findings, allows, diags }
+}
 
-    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    diags
+/// Rule U2: within one statement segment, identifiers carrying two
+/// *different* suffixes of the same dimension (time `_ns`/`_us`/`_ms`,
+/// energy `_nj`/`_mj`) combined by an operator are a unit bug unless a
+/// named conversion fn (any ident containing `_to_`) sanctions the
+/// statement. Segments break at `;`, `{`, `}`, `,`, `&&`, and `||`, so
+/// argument lists and independent clauses never pool their suffixes.
+fn unit_mixing_findings(sig: &[&Tok], test_spans: &[(u32, u32)]) -> Vec<(u32, String)> {
+    let suffix_of = |id: &str| -> Option<(usize, &'static str)> {
+        for s in TIME_SUFFIXES {
+            if id.ends_with(s) {
+                return Some((0, s));
+            }
+        }
+        for s in ENERGY_SUFFIXES {
+            if id.ends_with(s) {
+                return Some((1, s));
+            }
+        }
+        None
+    };
+    const DIM_NAMES: [&str; 2] = ["time", "energy"];
+
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        // Find the segment end.
+        let mut j = i;
+        while j < sig.len() {
+            let t = sig[j];
+            let two = |c: char| t.is_punct(c) && sig.get(j + 1).is_some_and(|n| n.is_punct(c));
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_punct(',') {
+                break;
+            }
+            if two('&') || two('|') {
+                j += 1; // consume the pair below
+                break;
+            }
+            j += 1;
+        }
+        let seg = &sig[i..j];
+        let mut dims: [Vec<&'static str>; 2] = [Vec::new(), Vec::new()];
+        let mut mix: Option<(u32, usize)> = None;
+        let mut has_op = false;
+        let mut sanctioned = false;
+        for (k, t) in seg.iter().enumerate() {
+            match &t.kind {
+                TokKind::Ident(id) => {
+                    if id.contains("_to_") {
+                        sanctioned = true;
+                    }
+                    if let Some((d, s)) = suffix_of(id) {
+                        if !dims[d].contains(&s) {
+                            dims[d].push(s);
+                            if dims[d].len() == 2 && mix.is_none() {
+                                mix = Some((t.line, d));
+                            }
+                        }
+                    }
+                }
+                TokKind::Punct(c) => {
+                    let next_gt = seg.get(k + 1).is_some_and(|n| n.is_punct('>'));
+                    let prev_arrowish = k > 0 && (seg[k - 1].is_punct('-') || seg[k - 1].is_punct('='));
+                    match c {
+                        '+' | '*' | '/' | '%' | '<' => has_op = true,
+                        // `->` and `=>` are not operators.
+                        '-' | '=' if !next_gt => has_op = true,
+                        '>' if !prev_arrowish => has_op = true,
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((line, d)) = mix {
+            if has_op && !sanctioned && !in_spans(line, test_spans) {
+                out.push((
+                    line,
+                    format!(
+                        "statement mixes {}-unit suffixes ({}) without a named conversion fn (`*_to_*`)",
+                        DIM_NAMES[d],
+                        dims[d].join(", "),
+                    ),
+                ));
+            }
+        }
+        i = j + 1;
+    }
+    out
 }
 
 /// Parses every `lint: allow(RULE): justification` directive in the
 /// file. Malformed or unjustified directives are reported immediately
 /// (A1) and do not suppress anything.
-fn parse_allow_directives(
-    path: &str,
-    toks: &[Tok],
-) -> (Vec<AllowDirective>, Vec<Diagnostic>) {
+fn parse_allow_directives(path: &str, toks: &[Tok]) -> (Vec<AllowEntry>, Vec<Diagnostic>) {
     let mut allows = Vec::new();
     let mut diags = Vec::new();
     for t in toks {
@@ -366,7 +472,7 @@ fn parse_allow_directives(
             });
             continue;
         }
-        allows.push(AllowDirective { line: t.line, target_line: t.line, rule, used: false });
+        allows.push(AllowEntry { line: t.line, target_line: t.line, rule, used: false });
     }
     (allows, diags)
 }
@@ -409,103 +515,6 @@ fn collect_local_roots(sig: &[&Tok]) -> BTreeSet<String> {
         i += 1;
     }
     roots
-}
-
-/// Finds the line spans of `#[cfg(test)]`-gated items (attribute through
-/// closing brace). Test code is exempt from D2/D3/H1: it does not run in
-/// the simulation and freely builds scaffolding.
-fn find_cfg_test_spans(sig: &[&Tok]) -> Vec<LineSpan> {
-    let mut spans = Vec::new();
-    let mut i = 0;
-    while i < sig.len() {
-        if sig[i].is_punct('#') && sig.get(i + 1).is_some_and(|t| t.is_punct('[')) {
-            let start_line = sig[i].line;
-            let attr_start = i + 2;
-            let mut depth = 1usize;
-            let mut j = attr_start;
-            while j < sig.len() && depth > 0 {
-                if sig[j].is_punct('[') {
-                    depth += 1;
-                } else if sig[j].is_punct(']') {
-                    depth -= 1;
-                }
-                j += 1;
-            }
-            let attr = &sig[attr_start..j.saturating_sub(1)];
-            let has = |name: &str| attr.iter().any(|t| t.ident() == Some(name));
-            if has("cfg") && has("test") && !has("not") {
-                if let Some(end) = item_end_line(sig, j) {
-                    spans.push(LineSpan { start: start_line, end });
-                }
-            }
-            i = j;
-        } else {
-            i += 1;
-        }
-    }
-    spans
-}
-
-/// Finds the line spans of functions annotated `// lint: hot-path`: from
-/// the next `fn` keyword through its matching closing brace.
-fn find_hot_spans(toks: &[Tok], sig: &[&Tok]) -> Vec<LineSpan> {
-    let mut spans = Vec::new();
-    for t in toks {
-        let TokKind::Comment(c) = &t.kind else { continue };
-        // Start-anchored, like allow directives: prose mentioning the
-        // marker syntax must not create a hot region.
-        if !c.trim_start().starts_with("lint: hot-path") {
-            continue;
-        }
-        // First `fn` at or after the marker's line.
-        let Some(fn_idx) = sig
-            .iter()
-            .position(|s| s.line >= t.line && s.ident() == Some("fn"))
-        else {
-            continue;
-        };
-        if let Some(end) = item_end_line(sig, fn_idx + 1) {
-            spans.push(LineSpan { start: sig[fn_idx].line, end });
-        }
-    }
-    spans
-}
-
-/// Scans forward from `from` for the end of the current item: a `;` at
-/// bracket depth zero (no body) or the close of the first `{...}` block.
-/// Returns the ending line.
-fn item_end_line(sig: &[&Tok], from: usize) -> Option<u32> {
-    let mut paren = 0i32;
-    let mut j = from;
-    // Skip any further attributes between here and the item.
-    while j < sig.len() {
-        let t = sig[j];
-        match &t.kind {
-            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
-            TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
-            TokKind::Punct(';') if paren == 0 => return Some(t.line),
-            TokKind::Punct('{') if paren == 0 => {
-                // Brace-match the body.
-                let mut depth = 1i32;
-                let mut k = j + 1;
-                while k < sig.len() {
-                    if sig[k].is_punct('{') {
-                        depth += 1;
-                    } else if sig[k].is_punct('}') {
-                        depth -= 1;
-                        if depth == 0 {
-                            return Some(sig[k].line);
-                        }
-                    }
-                    k += 1;
-                }
-                return Some(sig.last()?.line);
-            }
-            _ => {}
-        }
-        j += 1;
-    }
-    None
 }
 
 #[cfg(test)]
@@ -572,6 +581,16 @@ mod tests {
     }
 
     #[test]
+    fn h1_span_survives_const_generic_brace_in_signature() {
+        // Regression: the old heuristic scan took `{ N }` in the return
+        // type for the body and stopped checking before the real one.
+        let src = "// lint: hot-path\nfn hot<const N: usize>() -> ArrayVec<{ N }>\n{\n    let v = vec![1];\n    v\n}\n";
+        let diags = lint_source("x.rs", "ssmc-storage", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!((diags[0].rule, diags[0].line), (Rule::H1, 4));
+    }
+
+    #[test]
     fn u1_accepts_nearby_safety_comment() {
         let bad = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
         assert_eq!(rules_fired("x.rs", "ssmc-bench", bad), vec!["U1"]);
@@ -598,5 +617,45 @@ mod tests {
     fn d1_ignores_comments_and_strings() {
         let src = "// Instant is banned here\nfn f() { let s = \"Instant\"; }\n";
         assert!(rules_fired("x.rs", "ssmc-core", src).is_empty());
+    }
+
+    #[test]
+    fn u2_flags_mixed_time_suffixes_in_arithmetic() {
+        let src = "fn f(a_ns: u64, b_ms: u64) -> u64 { a_ns + b_ms }\n";
+        let diags = lint_source("x.rs", "ssmc-storage", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::U2);
+        assert!(diags[0].message.contains("_ns") && diags[0].message.contains("_ms"));
+    }
+
+    #[test]
+    fn u2_flags_mixed_energy_assignment() {
+        let src = "fn f(total_nj: &mut u64, add_mj: u64) { *total_nj = add_mj; }\n";
+        assert_eq!(rules_fired("x.rs", "ssmc-device", src), vec!["U2"]);
+    }
+
+    #[test]
+    fn u2_accepts_named_conversion_fns() {
+        let src = "fn f(a_ns: u64, b_ms: u64) -> u64 { a_ns + ms_to_ns(b_ms) }\n";
+        assert!(rules_fired("x.rs", "ssmc-storage", src).is_empty());
+    }
+
+    #[test]
+    fn u2_segments_do_not_pool_across_args_or_clauses() {
+        // Distinct arguments and `&&`-joined clauses are independent.
+        let src = "fn f(a_ns: u64, b_ms: u64) -> bool { g(a_ns, b_ms); a_ns > 1 && b_ms > 2 }\n";
+        assert!(rules_fired("x.rs", "ssmc-storage", src).is_empty());
+    }
+
+    #[test]
+    fn u2_same_suffix_is_consistent() {
+        let src = "fn f(a_ns: u64, b_ns: u64) -> u64 { a_ns + b_ns }\n";
+        assert!(rules_fired("x.rs", "ssmc-storage", src).is_empty());
+    }
+
+    #[test]
+    fn u2_only_applies_to_sim_crates() {
+        let src = "fn f(a_ns: u64, b_ms: u64) -> u64 { a_ns + b_ms }\n";
+        assert!(rules_fired("x.rs", "ssmc-bench", src).is_empty());
     }
 }

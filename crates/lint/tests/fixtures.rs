@@ -1,10 +1,16 @@
-//! Fixture-corpus check: every `*_bad.rs` fixture must produce exactly
-//! one diagnostic of its rule, and every `*_clean.rs` fixture must
-//! produce none. The fixtures live outside the workspace walk (the
+//! Fixture-corpus check.
+//!
+//! Per-file rules iterate the `{rule}_bad.rs` / `{rule}_clean.rs`
+//! convention: every bad fixture must produce exactly one diagnostic of
+//! its rule, every clean fixture none. The interprocedural rules
+//! (H2/P1/E1) need a call graph, so their fixtures run through
+//! [`ssmc_lint::lint_files`] under synthetic `crates/...` paths — paths
+//! under `tests/` would mark every function test-only and exclude it
+//! from the graph. The fixtures live outside the workspace walk (the
 //! walker skips `fixtures/` directories) and are never compiled — they
 //! are pure lexer/rule-engine input.
 
-use ssmc_lint::{lint_source, Rule};
+use ssmc_lint::{lint_files, lint_source, Diagnostic, Rule};
 use std::fs;
 use std::path::PathBuf;
 
@@ -18,9 +24,19 @@ fn fixture(name: &str) -> String {
 /// Fixtures lint as simulator-crate code so every rule is in scope.
 const FIXTURE_CRATE: &str = "ssmc-storage";
 
+/// The rules whose fixtures are a single file through [`lint_source`].
+/// H2/P1/E1 are interprocedural (explicit tests below); B1 is driven by
+/// the baseline file, covered by `baseline` module tests.
+const PER_FILE_RULES: [Rule; 8] =
+    [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::H1, Rule::U1, Rule::U2, Rule::A1];
+
+fn render(diags: &[Diagnostic]) -> Vec<String> {
+    diags.iter().map(|d| d.to_string()).collect()
+}
+
 #[test]
 fn every_bad_fixture_fires_its_rule_exactly_once() {
-    for rule in Rule::ALL {
+    for rule in PER_FILE_RULES {
         let name = format!("{}_bad.rs", rule.name().to_lowercase());
         let src = fixture(&name);
         let path = format!("crates/lint/tests/fixtures/{name}");
@@ -29,7 +45,7 @@ fn every_bad_fixture_fires_its_rule_exactly_once() {
             diags.len(),
             1,
             "{name}: expected exactly one diagnostic, got {:?}",
-            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+            render(&diags)
         );
         assert_eq!(diags[0].rule, rule, "{name}: wrong rule: {}", diags[0]);
     }
@@ -37,7 +53,7 @@ fn every_bad_fixture_fires_its_rule_exactly_once() {
 
 #[test]
 fn every_clean_fixture_is_silent() {
-    for rule in Rule::ALL {
+    for rule in PER_FILE_RULES {
         let name = format!("{}_clean.rs", rule.name().to_lowercase());
         let src = fixture(&name);
         let path = format!("crates/lint/tests/fixtures/{name}");
@@ -45,7 +61,7 @@ fn every_clean_fixture_is_silent() {
         assert!(
             diags.is_empty(),
             "{name}: expected no diagnostics, got {:?}",
-            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+            render(&diags)
         );
     }
 }
@@ -59,4 +75,82 @@ fn bad_fixture_diagnostics_render_the_contract_format() {
         rendered.starts_with("crates/lint/tests/fixtures/d2_bad.rs:") && rendered.contains(": D2: "),
         "unexpected rendering: {rendered}"
     );
+}
+
+#[test]
+fn h1_fixture_survives_an_inner_block_before_the_allocation() {
+    // Regression: a line-oriented span heuristic ended the hot span at
+    // the if-block's `}`, hiding the `.to_vec()` after it.
+    let src = fixture("h1_depth_bad.rs");
+    let diags = lint_source("crates/lint/tests/fixtures/h1_depth_bad.rs", FIXTURE_CRATE, &src);
+    assert_eq!(diags.len(), 1, "{:?}", render(&diags));
+    assert_eq!(diags[0].rule, Rule::H1, "{}", diags[0]);
+    assert!(diags[0].message.contains(".to_vec()"), "{}", diags[0]);
+}
+
+/// Runs an interprocedural fixture pair: `entry` becomes
+/// `crates/storage/src/entry.rs`, `helper` (if any) becomes the `help`
+/// module the entry calls into.
+fn lint_interprocedural(entry: &str, helper: Option<&str>) -> Vec<Diagnostic> {
+    let entry_src = fixture(entry);
+    let helper_src = helper.map(fixture);
+    let mut files = vec![("crates/storage/src/entry.rs", FIXTURE_CRATE, entry_src.as_str())];
+    if let Some(src) = helper_src.as_deref() {
+        files.push(("crates/storage/src/help.rs", FIXTURE_CRATE, src));
+    }
+    lint_files(&files)
+}
+
+#[test]
+fn h2_bad_fixture_reports_the_chain_across_files() {
+    let diags = lint_interprocedural("h2_bad_entry.rs", Some("h2_bad_helper.rs"));
+    assert_eq!(diags.len(), 1, "{:?}", render(&diags));
+    assert_eq!(diags[0].rule, Rule::H2, "{}", diags[0]);
+    assert!(
+        diags[0].message.contains("replay_op → record_op → Vec::new"),
+        "chain missing: {}",
+        diags[0]
+    );
+}
+
+#[test]
+fn h2_clean_fixture_breaks_the_chain_at_the_allowed_edge() {
+    let diags = lint_interprocedural("h2_clean_entry.rs", Some("h2_bad_helper.rs"));
+    assert!(diags.is_empty(), "{:?}", render(&diags));
+}
+
+#[test]
+fn p1_bad_fixture_reports_the_unwrap_chain() {
+    let diags = lint_interprocedural("p1_bad.rs", None);
+    assert_eq!(diags.len(), 1, "{:?}", render(&diags));
+    assert_eq!(diags[0].rule, Rule::P1, "{}", diags[0]);
+    assert!(
+        diags[0].message.contains("replay_step → helper_lookup → .unwrap()"),
+        "chain missing: {}",
+        diags[0]
+    );
+}
+
+#[test]
+fn p1_clean_fixture_is_silent() {
+    let diags = lint_interprocedural("p1_clean.rs", None);
+    assert!(diags.is_empty(), "{:?}", render(&diags));
+}
+
+#[test]
+fn e1_bad_fixture_reports_double_charging() {
+    let diags = lint_interprocedural("e1_bad.rs", None);
+    assert_eq!(diags.len(), 1, "{:?}", render(&diags));
+    assert_eq!(diags[0].rule, Rule::E1, "{}", diags[0]);
+    assert!(
+        diags[0].message.contains("sum one level, not both"),
+        "rationale missing: {}",
+        diags[0]
+    );
+}
+
+#[test]
+fn e1_clean_fixture_charges_at_one_level_only() {
+    let diags = lint_interprocedural("e1_clean.rs", None);
+    assert!(diags.is_empty(), "{:?}", render(&diags));
 }

@@ -1,0 +1,18 @@
+//! E1 fixture: `op` charges the ledger for the whole operation and then
+//! calls `sub_op`, which charges again for its slice of the same work —
+//! the energy is counted at two levels.
+
+pub struct Dev {
+    energy: EnergyLedger,
+}
+
+impl Dev {
+    pub fn op(&mut self) {
+        self.energy.charge("dev.op", op_cost());
+        self.sub_op();
+    }
+
+    fn sub_op(&mut self) {
+        self.energy.charge("dev.sub", sub_cost());
+    }
+}

@@ -1,0 +1,17 @@
+//! E1 fixture (clean): the callee computes cost but only the caller
+//! charges — energy is summed at exactly one level.
+
+pub struct Dev {
+    energy: EnergyLedger,
+}
+
+impl Dev {
+    pub fn op(&mut self) {
+        let cost = self.sub_op();
+        self.energy.charge("dev.op", cost);
+    }
+
+    fn sub_op(&mut self) -> u64 {
+        transfer_cost()
+    }
+}

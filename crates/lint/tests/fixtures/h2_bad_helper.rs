@@ -1,0 +1,6 @@
+//! H2 fixture (helper file): the allocation the hot root reaches.
+
+pub fn record_op() {
+    let mut log = Vec::new();
+    log.push(1u64);
+}

@@ -1,0 +1,9 @@
+//! H2 fixture (clean entry): same shape as the bad pair, but the call
+//! edge into the allocating helper carries an argued allow, which breaks
+//! the chain at exactly that edge.
+
+// lint: hot-path
+pub fn replay_op(&mut self) {
+    // lint: allow(H2): helper appends to a pooled grow-only log; growth is warm-up-only
+    crate::help::record_op();
+}

@@ -1,0 +1,10 @@
+//! P1 fixture: the hot root reaches an `.unwrap()` through a helper.
+
+// lint: hot-path
+pub fn replay_step(&mut self) {
+    helper_lookup();
+}
+
+fn helper_lookup() -> u64 {
+    table_entry().unwrap()
+}

@@ -1,0 +1,12 @@
+//! P1 fixture (clean): the helper degrades gracefully instead of
+//! unwrapping, and its debug assertion is exempt by design.
+
+// lint: hot-path
+pub fn replay_step(&mut self) {
+    helper_lookup();
+}
+
+fn helper_lookup() -> u64 {
+    debug_assert!(table_ready());
+    table_entry().unwrap_or(0)
+}

@@ -1,0 +1,6 @@
+//! U2 fixture: one statement compares a nanosecond value against a
+//! millisecond budget with no named conversion in sight.
+
+pub fn within_budget(latency_ns: u64, budget_ms: u64) -> bool {
+    latency_ns < budget_ms
+}

@@ -1,0 +1,10 @@
+//! U2 fixture (clean): the millisecond budget passes through a named
+//! `*_to_*` conversion before it meets the nanosecond value.
+
+pub fn ms_to_ns(v_ms: u64) -> u64 {
+    v_ms * 1_000_000
+}
+
+pub fn within_budget(latency_ns: u64, budget_ms: u64) -> bool {
+    latency_ns < ms_to_ns(budget_ms)
+}

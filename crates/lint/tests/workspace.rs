@@ -2,7 +2,7 @@
 //! check `scripts/ci.sh` runs via the CLI, wired into `cargo test` so a
 //! violation fails the suite even when CI is not involved.
 
-use ssmc_lint::lint_workspace;
+use ssmc_lint::analyze_workspace;
 use std::path::PathBuf;
 
 #[test]
@@ -11,15 +11,29 @@ fn live_workspace_lints_clean() {
         .join("../..")
         .canonicalize()
         .expect("workspace root");
-    let (checked, diags) = lint_workspace(&root).expect("walk workspace");
+    let a = analyze_workspace(&root).expect("walk workspace");
     // The workspace has 9 crates plus the root package; anything under
     // ~50 files means the walker silently missed most of the tree.
-    assert!(checked > 50, "only {checked} files checked — walker is broken");
+    assert!(a.checked_files > 50, "only {} files checked — walker is broken", a.checked_files);
+    // The interprocedural passes must actually have a graph to walk: a
+    // near-empty graph means the item parser or call resolution silently
+    // regressed and H2/P1/E1 are vacuously "clean".
     assert!(
-        diags.is_empty(),
+        a.graph.nodes.len() > 500 && a.graph.edge_count() > 1000,
+        "call graph too small ({} functions, {} edges) — parser or resolver regressed",
+        a.graph.nodes.len(),
+        a.graph.edge_count()
+    );
+    // The baseline must be in force (it suppresses the recorded findings)
+    // and the findings it records must exist — both zero would mean the
+    // graph passes never ran.
+    assert!(!a.baseline.is_empty(), "lint-baseline.json missing or empty");
+    assert!(!a.graph_findings.is_empty(), "interprocedural passes found nothing — passes broken");
+    assert!(
+        a.diags.is_empty(),
         "workspace must lint clean, got {} diagnostics:\n{}",
-        diags.len(),
-        diags
+        a.diags.len(),
+        a.diags
             .iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()

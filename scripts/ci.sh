@@ -9,10 +9,23 @@ set -eu
 RUSTFLAGS="-D warnings" cargo build --release --offline
 cargo test -q --offline --workspace
 
-# Invariant linter: determinism, hermeticity, and hot-path rules over
-# the whole workspace (see DESIGN.md §Static analysis), plus its
-# fixture corpus, which pins every rule's positive and negative case.
+# Invariant linter: per-file rules plus the interprocedural passes —
+# workspace call graph, transitive hot-path allocation (H2), panic
+# reachability (P1), unit-suffix consistency (U2), and energy
+# attribution (E1) — against the checked-in lint-baseline.json (see
+# DESIGN.md §8). Baseline staleness in either direction is a B1
+# diagnostic, so this step fails the moment the tree drifts from the
+# recorded findings. The linter is part of the edit loop, so its
+# runtime is budgeted: a full workspace pass must finish inside 5
+# seconds (including cargo dispatch overhead).
+LINT_START=$(date +%s%N)
 cargo run --release --offline -p ssmc-lint -- --workspace
+LINT_END=$(date +%s%N)
+LINT_MS=$(( (LINT_END - LINT_START) / 1000000 ))
+if [ "$LINT_MS" -gt 5000 ]; then
+    echo "ssmc-lint workspace pass took ${LINT_MS}ms (budget 5000ms)" >&2
+    exit 1
+fi
 cargo test -q --offline -p ssmc-lint
 
 cargo run --release --offline -p ssmc-bench --bin experiments -- f2
