@@ -24,6 +24,11 @@ fn main() {
         return;
     }
 
+    if args.first().map(String::as_str) == Some("crash-torture") {
+        crash_torture(&args[1..]);
+        return;
+    }
+
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         let n = args
             .get(i + 1)
@@ -147,6 +152,11 @@ fn main() {
             "       experiments trace-compile --out PATH \
              [--workload NAME] [--ops N]"
         );
+        eprintln!(
+            "       experiments crash-torture [--workload NAME] [--ops N] \
+             [--seed N] [--tear clean|prefix|stripe|both|all] \
+             [--threads N] [--json PATH]"
+        );
         eprintln!("experiments:");
         for e in &registry {
             eprintln!("  {:4}  {}", e.id, e.title);
@@ -263,4 +273,209 @@ fn trace_compile(args: &[String]) {
     println!("records: {}", h.records);
     println!("files:   {}", h.files);
     println!("bytes:   {bytes}");
+}
+
+/// `experiments crash-torture [--workload NAME] [--ops N] [--seed N]
+/// [--tear clean|prefix|stripe|both|all] [--threads N] [--json PATH]`
+///
+/// Generates a workload trace, projects it to a page-op stream through
+/// the trace oracle, counts every flash program/erase boundary in a
+/// clean pre-pass, then power-cuts the replay at each boundary with the
+/// requested tear modes, recovering and differentially checking
+/// durability after every cut (see `ssmc_storage::torture`).
+///
+/// Cut runs are pure functions of `(ops, seed, cut, tear)` and are
+/// sharded across threads with `parallel_sweep`, which returns results
+/// in input order — stdout and `--json` output are bit-identical at any
+/// `--threads` value. Exits non-zero if any cut produced a violation.
+fn crash_torture(args: &[String]) {
+    use ssmc_device::{FlashSpec, TearMode};
+    use ssmc_sim::obs::MetricsRegistry;
+    use ssmc_sim::report::Value;
+    use ssmc_sim::SimDuration;
+    use ssmc_storage::torture::{self, TortureOp, TortureSummary};
+    use ssmc_storage::StorageConfig;
+    use ssmc_trace::{project, GeneratorConfig, OracleConfig, PageOpKind, Workload};
+
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| {
+                args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+            })
+    };
+    let workload = match flag("--workload") {
+        None => Workload::Bsd,
+        Some(v) => Workload::parse(&v).unwrap_or_else(|| {
+            eprintln!(
+                "unknown workload {v:?}; one of: {}",
+                Workload::ALL.map(|w| w.name()).join(", ")
+            );
+            std::process::exit(2);
+        }),
+    };
+    let ops_n: usize = match flag("--ops") {
+        None => 2_000,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--ops needs a positive integer");
+            std::process::exit(2);
+        }),
+    };
+    let seed: u64 = match flag("--seed") {
+        None => 0x0C0F_FEE5,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--seed needs an unsigned integer");
+            std::process::exit(2);
+        }),
+    };
+    let tears: Vec<TearMode> = match flag("--tear").as_deref() {
+        // "both" = both torn-write modes; "all" adds the untorn cut.
+        None | Some("both") => vec![TearMode::Prefix, TearMode::Stripe],
+        Some("all") => vec![TearMode::Clean, TearMode::Prefix, TearMode::Stripe],
+        Some("clean") => vec![TearMode::Clean],
+        Some("prefix") => vec![TearMode::Prefix],
+        Some("stripe") => vec![TearMode::Stripe],
+        Some(v) => {
+            eprintln!("unknown tear mode {v:?}; one of: clean, prefix, stripe, both, all");
+            std::process::exit(2);
+        }
+    };
+    if let Some(v) = flag("--threads") {
+        let n: usize = v.parse().unwrap_or_else(|_| {
+            eprintln!("--threads needs a positive integer");
+            std::process::exit(2);
+        });
+        ssmc_sim::set_threads(n);
+    }
+    let json_out = flag("--json").map(std::path::PathBuf::from);
+
+    // Fixed page-op stream: generate, project through the oracle.
+    let trace = GeneratorConfig::new(workload)
+        .with_ops(ops_n)
+        .with_seed(seed)
+        .with_max_live_bytes(128 << 10)
+        .generate();
+    let page_ops = project(&trace, &OracleConfig::default());
+    let ops: Vec<TortureOp> = page_ops
+        .iter()
+        .map(|o| match o.kind {
+            PageOpKind::Write => TortureOp::Write { page: o.page },
+            PageOpKind::Free => TortureOp::Free { page: o.page },
+            PageOpKind::Sync => TortureOp::Sync,
+            PageOpKind::Tick => TortureOp::Tick,
+        })
+        .collect();
+
+    // Small flash so the window still exercises GC and checkpointing:
+    // 4 banks x 16 blocks x 8 KiB = 1024 pages against <= 256 live.
+    let cfg = StorageConfig {
+        page_size: 512,
+        dram_buffer_bytes: 16 << 10,
+        flash: FlashSpec {
+            banks: 4,
+            blocks_per_bank: 16,
+            block_bytes: 8 << 10,
+            write_unit: 512,
+            ..FlashSpec::default()
+        },
+        gc_trigger_segments: 4,
+        gc_target_segments: 6,
+        checkpoint_interval: SimDuration::from_secs(1),
+        ..StorageConfig::default()
+    };
+
+    let boundaries = torture::count_boundaries(&cfg, &ops, seed).unwrap_or_else(|e| {
+        eprintln!("clean pre-pass failed: {e:?}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        ">>> crash-torture: {workload}, {} page ops, {boundaries} boundaries, {} tear mode(s), {} threads",
+        ops.len(),
+        tears.len(),
+        ssmc_sim::threads(),
+    );
+
+    let items: Vec<(TearMode, u64)> = tears
+        .iter()
+        .flat_map(|&t| (1..=boundaries).map(move |c| (t, c)))
+        .collect();
+    let start = std::time::Instant::now();
+    let reports =
+        ssmc_sim::parallel_sweep(&items, |_, &(tear, cut)| torture::run_cut(&cfg, &ops, seed, cut, tear));
+    eprintln!("    ({:.1} s)", start.elapsed().as_secs_f64());
+
+    let mut total = TortureSummary::default();
+    let mut tear_rows: Vec<Value> = Vec::new();
+    for (ti, &tear) in tears.iter().enumerate() {
+        let slice = &reports[ti * boundaries as usize..(ti + 1) * boundaries as usize];
+        let mut summary = TortureSummary::default();
+        let mut failed_cuts: Vec<Value> = Vec::new();
+        for r in slice {
+            summary.absorb(r);
+            total.absorb(r);
+            if !r.passed() {
+                failed_cuts.push(Value::object(vec![
+                    ("cut", Value::UInt(r.cut_at)),
+                    (
+                        "violations",
+                        Value::Array(
+                            r.violations
+                                .iter()
+                                .map(|v| Value::Str(v.to_string()))
+                                .collect(),
+                        ),
+                    ),
+                ]));
+            }
+        }
+        println!(
+            "tear={:<6} cuts={} failures={}",
+            format!("{tear:?}").to_lowercase(),
+            summary.cuts_total,
+            summary.failures
+        );
+        for r in slice.iter().filter(|r| !r.passed()).take(8) {
+            for v in &r.violations {
+                eprintln!("    {tear:?} cut {}: {v}", r.cut_at);
+            }
+        }
+        tear_rows.push(Value::object(vec![
+            ("tear", Value::Str(format!("{tear:?}").to_lowercase())),
+            ("cuts_total", Value::UInt(summary.cuts_total)),
+            ("failures", Value::UInt(summary.failures)),
+            ("failed_cuts", Value::Array(failed_cuts)),
+        ]));
+    }
+    println!(
+        "total cuts={} failures={}",
+        total.cuts_total, total.failures
+    );
+
+    let mut reg = MetricsRegistry::new();
+    total.publish(&mut reg);
+    debug_assert_eq!(reg.counter_value("torture.cuts_total"), Some(total.cuts_total));
+
+    if let Some(path) = &json_out {
+        let report = Value::object(vec![
+            ("workload", Value::Str(workload.to_string())),
+            ("trace_ops", Value::UInt(ops_n as u64)),
+            ("page_ops", Value::UInt(ops.len() as u64)),
+            ("seed", Value::UInt(seed)),
+            ("boundaries", Value::UInt(boundaries)),
+            ("tears", Value::Array(tear_rows)),
+            ("cuts_total", Value::UInt(total.cuts_total)),
+            ("failures", Value::UInt(total.failures)),
+        ]);
+        let mut f = std::fs::File::create(path).expect("create json");
+        f.write_all(report.encode_pretty().as_bytes())
+            .expect("write json");
+        eprintln!("    wrote {}", path.display());
+    }
+
+    if total.failures > 0 {
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,40 @@
+//! Temporary perf probe: database workload scaling (delete before commit).
+
+use ssmc_core::{run_trace, MachineConfig, MobileComputer};
+use ssmc_trace::{GeneratorConfig, Workload};
+use std::time::Instant;
+
+fn machine() -> MobileComputer {
+    let mut cfg = MachineConfig::with_sizes("throughput", 8 << 20, 24 << 20);
+    cfg.write_buffer_bytes = Some(1 << 20);
+    MobileComputer::new(cfg)
+}
+
+#[test]
+#[ignore]
+fn database_scaling() {
+    for ops in [19_000usize, 20_000, 21_000, 22_000] {
+        let trace = GeneratorConfig::new(Workload::Database)
+            .with_ops(ops)
+            .with_max_live_bytes(4 << 20)
+            .generate();
+        let mut m = machine();
+        let start = Instant::now();
+        run_trace(&mut m, &trace);
+        let dt = start.elapsed().as_secs_f64();
+        let s = m.fs().storage().metrics().clone();
+        println!(
+            "database {ops} ops: {:.2}s ({:.0} ops/sec) gc_runs={} gc_pages={} user_pages={} wear={}",
+            dt,
+            trace.records.len() as f64 / dt,
+            s.gc_runs,
+            s.gc_flash_pages,
+            s.user_flash_pages,
+            s.wear_migrations,
+        );
+        if dt > 120.0 {
+            println!("bailing: already pathological");
+            break;
+        }
+    }
+}

@@ -290,6 +290,21 @@ impl MobileComputer {
         self.fs.crash();
     }
 
+    /// Arms a simulated power cut at the `boundary`-th flash program or
+    /// erase (1-based, counted from device creation), tearing the
+    /// in-flight operation per `tear` — the machine-level entry point
+    /// of the crash-torture harness.
+    pub fn arm_power_cut(&mut self, boundary: u64, tear: ssmc_device::TearMode) {
+        self.fs.storage_mut().arm_power_cut(boundary, tear);
+    }
+
+    /// Whether an armed power cut has fired. Sample *before*
+    /// [`Self::battery_failure`]: the power cycle inside the crash
+    /// clears the flag.
+    pub fn power_cut_fired(&self) -> bool {
+        self.fs.storage().power_cut_fired()
+    }
+
     /// Swaps in a fresh primary pack and recovers the file system.
     ///
     /// # Errors

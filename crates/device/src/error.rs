@@ -47,6 +47,12 @@ pub enum DeviceError {
         /// Request length in bytes.
         len: u64,
     },
+    /// Power was lost while the operation was in flight (injected by the
+    /// crash-torture harness via [`crate::Flash::arm_power_cut`]). The
+    /// device refuses all further programs and erases until the next
+    /// power cycle; whatever the tear mode left in the array is what
+    /// recovery will find.
+    PowerCut,
     /// The DRAM contents were lost to a battery failure and have not been
     /// reinitialised.
     ContentsLost,
@@ -81,6 +87,7 @@ impl fmt::Display for DeviceError {
                     "program [{addr}, {addr}+{len}) crosses an erase-block boundary"
                 )
             }
+            DeviceError::PowerCut => write!(f, "power lost mid-operation (injected power cut)"),
             DeviceError::ContentsLost => write!(f, "DRAM contents lost to battery failure"),
             DeviceError::NotSpinning => write!(f, "disk is spun down"),
         }

@@ -209,6 +209,36 @@ pub struct FlashCounters {
     pub suspended_reads: u64,
 }
 
+/// How an injected power cut leaves the cells of the in-flight program or
+/// erase. Used by the crash-torture harness via [`Flash::arm_power_cut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TearMode {
+    /// Power dies before the operation's pulse reaches the array: the
+    /// targeted cells are unchanged. Equivalent to a crash *between* the
+    /// previous operation and this one.
+    Clean,
+    /// A torn write: the first half of the bytes take effect, the tail is
+    /// left as it was (erased cells for a program, old cells for an
+    /// erase). The disturbed write units are marked programmed either
+    /// way — half-pulsed cells cannot be reprogrammed without an erase.
+    Prefix,
+    /// Interleaved-stripe corruption: alternating 64-byte chunks of the
+    /// operation take effect, modelling multi-plane devices where the
+    /// pulse lands on part of the page's cells first.
+    Stripe,
+}
+
+/// Stripe width, in bytes, of [`TearMode::Stripe`].
+const STRIPE_BYTES: usize = 64;
+
+/// An armed power cut: the `cut_at`-th program/erase boundary (1-based,
+/// counted across both operation kinds in issue order) fires the cut.
+#[derive(Debug, Clone, Copy)]
+struct PowerCutPlan {
+    cut_at: u64,
+    tear: TearMode,
+}
+
 #[derive(Debug)]
 struct Block {
     erase_count: u64,
@@ -267,6 +297,15 @@ pub struct Flash {
     energy: EnergyLedger,
     first_wearout: Option<SimTime>,
     recorder: Recorder,
+    /// Programs + erases issued so far (operations that passed their
+    /// preconditions); the crash-torture harness enumerates cut points
+    /// against this count.
+    boundary_ops: u64,
+    /// Armed power cut, if any.
+    cut_plan: Option<PowerCutPlan>,
+    /// Set when the armed cut fires; the device then refuses every
+    /// program and erase until [`Flash::power_cycle`].
+    cut_fired: bool,
 }
 
 impl Flash {
@@ -291,6 +330,9 @@ impl Flash {
             energy: EnergyLedger::new(),
             first_wearout: None,
             recorder: Recorder::disabled(),
+            boundary_ops: 0,
+            cut_plan: None,
+            cut_fired: false,
             spec,
             clock,
         }
@@ -332,6 +374,45 @@ impl Flash {
     /// Instant the first block was retired for wear, if any.
     pub fn first_wearout(&self) -> Option<SimTime> {
         self.first_wearout
+    }
+
+    /// Programs + erases issued so far (1-based boundary numbering: the
+    /// first program or erase is boundary 1). The crash-torture harness
+    /// runs a counting pre-pass over this to enumerate cut points.
+    pub fn boundary_ops(&self) -> u64 {
+        self.boundary_ops
+    }
+
+    /// Arms a power cut at the `boundary`-th program/erase (1-based,
+    /// counted from device creation across both operation kinds). When
+    /// that operation is issued, `tear` decides what its cells look like,
+    /// the operation returns [`DeviceError::PowerCut`], and every further
+    /// program or erase fails the same way until [`Flash::power_cycle`]
+    /// restores power. Reads keep working — the harness reads nothing
+    /// after the cut, and contents cannot change on a dead device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary` is zero (boundaries are 1-based).
+    pub fn arm_power_cut(&mut self, boundary: u64, tear: TearMode) {
+        assert!(boundary > 0, "cut boundaries are 1-based");
+        self.cut_plan = Some(PowerCutPlan {
+            cut_at: boundary,
+            tear,
+        });
+        self.cut_fired = false;
+    }
+
+    /// Disarms a pending power cut without firing it.
+    pub fn disarm_power_cut(&mut self) {
+        self.cut_plan = None;
+    }
+
+    /// Whether an armed power cut has fired. Cleared (with the plan) by
+    /// [`Flash::power_cycle`], so callers must sample it before simulating
+    /// the reboot.
+    pub fn power_cut_fired(&self) -> bool {
+        self.cut_fired
     }
 
     /// The bank containing byte address `addr`.
@@ -535,7 +616,18 @@ impl Flash {
     /// advance. Used by background flushing in the storage manager.
     // lint: hot-path
     pub fn program_async(&mut self, addr: u64, data: &[u8]) -> Result<SimTime> {
+        if self.cut_fired {
+            return Err(DeviceError::PowerCut);
+        }
         let block = self.program_checks(addr, data)?;
+        self.boundary_ops += 1;
+        if let Some(plan) = self.cut_plan {
+            if self.boundary_ops == plan.cut_at {
+                self.cut_fired = true;
+                self.tear_program(addr, data, block, plan.tear);
+                return Err(DeviceError::PowerCut);
+            }
+        }
         let bank = self.bank_of(addr);
         let latency = self.spec.program_latency(data.len() as u64);
         let begin = self.bank_busy_until[bank.0 as usize].max(self.clock.now());
@@ -572,6 +664,9 @@ impl Flash {
     /// it returns [`DeviceError::WornOut`] and the block refuses all further
     /// programs and erases.
     pub fn erase_async(&mut self, block: BlockId) -> Result<SimTime> {
+        if self.cut_fired {
+            return Err(DeviceError::PowerCut);
+        }
         let idx = block.0 as usize;
         if idx >= self.blocks.len() {
             return Err(DeviceError::OutOfRange {
@@ -592,6 +687,14 @@ impl Flash {
                 block,
                 cycles: self.blocks[idx].erase_count,
             });
+        }
+        self.boundary_ops += 1;
+        if let Some(plan) = self.cut_plan {
+            if self.boundary_ops == plan.cut_at {
+                self.cut_fired = true;
+                self.tear_erase(block, plan.tear);
+                return Err(DeviceError::PowerCut);
+            }
         }
         let bank = BankId(block.0 / self.spec.blocks_per_bank);
         let begin = self.bank_busy_until[bank.0 as usize].max(self.clock.now());
@@ -619,16 +722,87 @@ impl Flash {
         Ok(done)
     }
 
+    /// Applies a torn program: a prefix (or interleaved stripes) of `data`
+    /// reaches the cells, the rest stays erased. No counters, energy, or
+    /// bank occupancy — the power is gone. Every covered write unit is
+    /// marked programmed regardless of how many of its bytes landed:
+    /// half-pulsed cells are indeterminate and need an erase before reuse.
+    fn tear_program(&mut self, addr: u64, data: &[u8], block: BlockId, tear: TearMode) {
+        if matches!(tear, TearMode::Clean) || data.is_empty() {
+            return;
+        }
+        let units_per_block = (self.spec.block_bytes / self.spec.write_unit) as usize;
+        let first_unit = (addr / self.spec.write_unit) as usize % units_per_block;
+        let unit_count = data.len() / self.spec.write_unit as usize;
+        let b = &mut self.blocks[block.0 as usize];
+        for u in first_unit..first_unit + unit_count {
+            b.set_programmed(u);
+        }
+        match tear {
+            TearMode::Clean => unreachable!(),
+            TearMode::Prefix => {
+                let torn = data.len() / 2;
+                self.data[addr as usize..addr as usize + torn].copy_from_slice(&data[..torn]);
+            }
+            TearMode::Stripe => {
+                for (i, chunk) in data.chunks(STRIPE_BYTES).enumerate() {
+                    if i % 2 == 0 {
+                        let at = addr as usize + i * STRIPE_BYTES;
+                        self.data[at..at + chunk.len()].copy_from_slice(chunk);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a torn erase: part of the block returns to 0xFF, the rest
+    /// keeps its old cells. The erase count does not advance (the pulse
+    /// never completed) and programmed-unit bits are only cleared for
+    /// units whose bytes are now fully erased, so `is_erased` over the
+    /// whole block stays false — recovery must scrub it before reuse.
+    fn tear_erase(&mut self, block: BlockId, tear: TearMode) {
+        if matches!(tear, TearMode::Clean) {
+            return;
+        }
+        let (start, len) = self.block_range(block);
+        let unit = self.spec.write_unit as usize;
+        match tear {
+            TearMode::Clean => unreachable!(),
+            TearMode::Prefix => {
+                let torn = (len / 2) as usize;
+                self.data[start as usize..start as usize + torn].fill(0xFF);
+                let b = &mut self.blocks[block.0 as usize];
+                for u in 0..torn / unit {
+                    b.programmed[u / 64] &= !(1u64 << (u % 64));
+                }
+            }
+            TearMode::Stripe => {
+                for i in 0..(len as usize).div_ceil(STRIPE_BYTES) {
+                    if i % 2 == 0 {
+                        let at = start as usize + i * STRIPE_BYTES;
+                        let end = (at + STRIPE_BYTES).min((start + len) as usize);
+                        self.data[at..end].fill(0xFF);
+                    }
+                }
+            }
+        }
+    }
+
     /// Models a power cycle: any in-flight program or erase is abandoned
-    /// (the banks come back idle). Cell contents and wear state persist —
-    /// flash is non-volatile. In this model, state changes commit at issue
-    /// time, so an interrupted operation's effect is treated as complete;
-    /// the storage layer above treats mid-erase blocks as erased.
+    /// (the banks come back idle) and any armed or fired power cut is
+    /// cleared — external power is back. Cell contents and wear state
+    /// persist — flash is non-volatile. Absent an injected cut, state
+    /// changes commit at issue time, so an interrupted operation's effect
+    /// is treated as complete; the storage layer above treats mid-erase
+    /// blocks as erased (and, after this PR, scrubs any block an injected
+    /// torn erase left half-done).
     pub fn power_cycle(&mut self) {
         let now = self.clock.now();
         for b in &mut self.bank_busy_until {
             *b = now.min(*b);
         }
+        self.cut_plan = None;
+        self.cut_fired = false;
     }
 
     /// Aggregate wear statistics.
@@ -928,6 +1102,94 @@ mod tests {
         let spec = FlashSpec::default().with_capacity(4 << 20).with_banks(4);
         assert_eq!(spec.banks, 4);
         assert!(spec.capacity() >= 4 << 20);
+    }
+
+    #[test]
+    fn clean_cut_drops_the_target_op_and_all_later_ones() {
+        let mut f = device();
+        f.program(0, &[1u8; 512]).expect("boundary 1");
+        f.arm_power_cut(2, TearMode::Clean);
+        let err = f.program(512, &[2u8; 512]).expect_err("boundary 2 cut");
+        assert!(matches!(err, DeviceError::PowerCut));
+        assert!(f.power_cut_fired());
+        // Nothing landed, and the device now refuses everything.
+        assert!(f.is_erased(512, 512));
+        assert!(matches!(
+            f.program(1024, &[3u8; 512]),
+            Err(DeviceError::PowerCut)
+        ));
+        assert!(matches!(f.erase_async(BlockId(1)), Err(DeviceError::PowerCut)));
+        // Reads still work and see the pre-cut state.
+        let mut buf = [0u8; 512];
+        f.read(0, &mut buf).expect("read survives the cut");
+        assert_eq!(buf, [1u8; 512]);
+        // Power restored: the cut clears and programs work again.
+        f.power_cycle();
+        assert!(!f.power_cut_fired());
+        f.program(512, &[2u8; 512]).expect("program after reboot");
+    }
+
+    #[test]
+    fn prefix_torn_program_writes_half_and_poisons_the_units() {
+        let mut f = device();
+        f.arm_power_cut(1, TearMode::Prefix);
+        let err = f.program(0, &[0xAB; 512]).expect_err("torn");
+        assert!(matches!(err, DeviceError::PowerCut));
+        let c = f.contents();
+        assert!(c[..256].iter().all(|&b| b == 0xAB), "prefix landed");
+        assert!(c[256..512].iter().all(|&b| b == 0xFF), "tail stayed erased");
+        // The unit is disturbed: not erased, so it cannot be reprogrammed.
+        assert!(!f.is_erased(0, 512));
+        f.power_cycle();
+        assert!(matches!(
+            f.program(0, &[0u8; 512]),
+            Err(DeviceError::ProgramToUnerased { .. })
+        ));
+        // Counters never saw the torn program.
+        assert_eq!(f.counters().programs, 0);
+    }
+
+    #[test]
+    fn stripe_torn_program_interleaves_chunks() {
+        let mut f = device();
+        f.arm_power_cut(1, TearMode::Stripe);
+        f.program(0, &[0x77; 512]).expect_err("torn");
+        let c = f.contents();
+        for (i, chunk) in c[..512].chunks(64).enumerate() {
+            let want = if i % 2 == 0 { 0x77 } else { 0xFF };
+            assert!(chunk.iter().all(|&b| b == want), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn prefix_torn_erase_leaves_block_half_old_and_unerased() {
+        let mut f = device();
+        f.program(0, &vec![0x11; 4096]).expect("fill block");
+        f.arm_power_cut(2, TearMode::Prefix);
+        let err = f.erase(BlockId(0)).expect_err("torn erase");
+        assert!(matches!(err, DeviceError::PowerCut));
+        let c = f.contents();
+        assert!(c[..2048].iter().all(|&b| b == 0xFF), "front half erased");
+        assert!(c[2048..4096].iter().all(|&b| b == 0x11), "tail kept");
+        assert!(!f.is_erased(0, 4096), "block must not read as erased");
+        assert_eq!(f.erase_count(BlockId(0)), 0, "pulse never completed");
+        // After reboot the block can be erased for real.
+        f.power_cycle();
+        f.erase(BlockId(0)).expect("scrub erase");
+        assert!(f.is_erased(0, 4096));
+    }
+
+    #[test]
+    fn boundary_count_is_stable_across_reruns() {
+        let run = || {
+            let mut f = device();
+            f.program(0, &[1u8; 512]).unwrap();
+            f.program(512, &[2u8; 512]).unwrap();
+            f.erase(BlockId(1)).unwrap();
+            f.boundary_ops()
+        };
+        assert_eq!(run(), 3);
+        assert_eq!(run(), 3);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use catalog::{
 pub use disk::{Disk, DiskSpec, SpinState};
 pub use dram::{Dram, DramSpec};
 pub use error::DeviceError;
-pub use flash::{BankId, BlockId, Flash, FlashSpec, WearStats};
+pub use flash::{BankId, BlockId, Flash, FlashSpec, TearMode, WearStats};
 pub use trends::{Technology, TrendModel};
 
 /// Result alias for device operations.

@@ -40,6 +40,11 @@ struct FrameMeta {
     prev: usize,
     /// Next (hotter) frame in the LRW list, or [`NIL`].
     next: usize,
+    /// Flash address of the page's stale-but-durable copy, shielded from
+    /// GC while the newer version sits dirty in this frame. A shadow
+    /// exists only while its page is buffered, so it lives in the frame
+    /// slab rather than a side map: per-write upkeep stays allocation-free.
+    shadow: Option<u64>,
 }
 
 /// A fixed-capacity pool of page frames holding dirty pages.
@@ -117,6 +122,33 @@ impl WriteBuffer {
             .map(|m| m.dirty_since)
     }
 
+    /// Records the flash address of `frame`'s page's shielded stale copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is unoccupied.
+    // lint: hot-path
+    pub fn shadow_set(&mut self, frame: usize, addr: u64) {
+        self.frames[frame]
+            .as_mut()
+            .expect("shadow_set on free frame")
+            .shadow = Some(addr);
+    }
+
+    /// The shielded stale copy recorded for `frame`, if any.
+    // lint: hot-path
+    pub fn shadow_get(&self, frame: usize) -> Option<u64> {
+        self.frames[frame].and_then(|m| m.shadow)
+    }
+
+    /// Takes (and clears) the shielded stale copy recorded for `frame`.
+    /// Callers must take the shadow *before* releasing the frame with
+    /// [`Self::remove`], which discards the metadata.
+    // lint: hot-path
+    pub fn shadow_take(&mut self, frame: usize) -> Option<u64> {
+        self.frames[frame].as_mut().and_then(|m| m.shadow.take())
+    }
+
     /// Appends `frame` at the (hottest) tail of the LRW list. The caller
     /// must have stamped `last_write` with a clock reading at or after
     /// every other frame's — the monotonic simulated clock guarantees it.
@@ -178,6 +210,7 @@ impl WriteBuffer {
             dirty_since: now,
             prev: NIL,
             next: NIL,
+            shadow: None,
         });
         self.index.insert(page, frame);
         self.link_tail(frame);
@@ -208,6 +241,10 @@ impl WriteBuffer {
         self.unlink(frame);
         let meta = self.frames[frame].take().expect("frame slab out of sync");
         debug_assert_eq!(meta.page, page);
+        // An untaken shadow here would leak a Live slot the table can
+        // never reclaim: callers must `shadow_take` (and kill the slot)
+        // before releasing the frame.
+        debug_assert!(meta.shadow.is_none(), "frame released with live shadow");
         self.free.push(frame);
         Some(frame)
     }
@@ -407,6 +444,31 @@ mod tests {
         b.remove(3);
         assert!(b.pages().is_empty());
         assert_eq!(b.coldest(), None);
+    }
+
+    #[test]
+    fn shadow_lives_and_dies_with_its_frame() {
+        let mut b = WriteBuffer::new(2);
+        let f = b.insert(1, t(0)).expect("fits");
+        assert_eq!(b.shadow_get(f), None);
+        b.shadow_set(f, 0x1000);
+        assert_eq!(b.shadow_get(f), Some(0x1000));
+        // Relocation (GC re-home) overwrites in place.
+        b.shadow_set(f, 0x2000);
+        assert_eq!(b.shadow_take(f), Some(0x2000));
+        assert_eq!(b.shadow_get(f), None);
+        // A recycled frame starts with no shadow.
+        b.shadow_set(f, 0x3000);
+        assert_eq!(b.shadow_take(f), Some(0x3000));
+        b.remove(1);
+        let f2 = b.insert(2, t(1)).expect("fits");
+        assert_eq!(f, f2);
+        assert_eq!(b.shadow_get(f2), None);
+        // clear() drops shadows with everything else.
+        b.shadow_set(f2, 0x4000);
+        b.clear();
+        let f3 = b.insert(3, t(2)).expect("fits");
+        assert_eq!(b.shadow_get(f3), None);
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub struct StorageConfig {
     /// Reserve two blocks as a checkpoint ping-pong area and write a map
     /// snapshot on every `sync`.
     pub checkpointing: bool,
+    /// Minimum simulated time between periodic checkpoints taken by
+    /// `tick`. The crash-torture harness shrinks this so short replay
+    /// windows still exercise the checkpoint write and recovery paths.
+    pub checkpoint_interval: SimDuration,
     /// Dense-slot bound of the page map: ids whose low 32 bits are below
     /// this are tracked in flat per-window arrays (two array indexes per
     /// lookup); the rest fall back to a sorted overflow map. The default
@@ -138,6 +142,7 @@ impl Default for StorageConfig {
             gc_target_segments: 8,
             max_utilization: 0.85,
             checkpointing: true,
+            checkpoint_interval: SimDuration::from_secs(60),
             dense_map_pages: crate::map::DEFAULT_DENSE_PAGES,
         }
     }
@@ -180,6 +185,10 @@ impl StorageConfig {
         assert!(
             self.dense_map_pages > 0,
             "the dense page-map bound must cover at least one slot"
+        );
+        assert!(
+            self.checkpoint_interval > SimDuration::ZERO,
+            "checkpoint interval must be positive"
         );
         if let BankPolicy::ReadMostlyPartition { read_banks } = self.bank_policy {
             assert!(

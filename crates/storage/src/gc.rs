@@ -83,6 +83,7 @@ mod tests {
                     SlotMeta {
                         page: (seg * 10 + i) as u64,
                         seq: (seg * 10 + i) as u64 + 1,
+                        crc: 0,
                     },
                     at,
                 );

@@ -28,6 +28,7 @@
 
 pub mod buffer;
 pub mod config;
+pub mod crc;
 pub mod dense;
 pub mod error;
 pub mod gc;
@@ -37,6 +38,7 @@ pub mod metrics;
 pub mod pool;
 pub mod recovery;
 pub mod segment;
+pub mod torture;
 
 pub use config::{BankPolicy, FlushPolicy, GcPolicy, Placement, StorageConfig, WearLeveling};
 pub use dense::DenseIndex;

@@ -16,15 +16,16 @@
 
 use crate::buffer::WriteBuffer;
 use crate::config::{BankPolicy, Placement, StorageConfig, WearLeveling};
+use crate::crc;
 use crate::error::StorageError;
 use crate::gc::{pick_coldest, pick_victim};
 use crate::map::{Location, PageId, PageMap};
 use crate::metrics::StorageMetrics;
 use crate::pool::PagePool;
 use crate::recovery::RecoveryReport;
-use crate::segment::{SegState, SegmentTable, SlotMeta};
+use crate::segment::{SegState, SegmentTable, Slot, SlotMeta};
 use crate::Result;
-use ssmc_device::{DeviceError, Dram, Flash};
+use ssmc_device::{DeviceError, Dram, Flash, TearMode};
 use ssmc_sim::obs::{EventKind, MetricsRegistry, Recorder, Span};
 use ssmc_sim::timeline::SampleBuf;
 use ssmc_sim::{Energy, EnergyLedger, SharedClock, SimDuration, SimTime};
@@ -59,6 +60,43 @@ struct CkptState {
     disabled: bool,
 }
 
+impl CkptState {
+    /// Marks `seg` as appended-to since the last checkpoint. The bitmap
+    /// is sized when the snapshot is taken; if the segment table has
+    /// grown since, indexing out of range must neither panic nor —
+    /// worse — silently drop the mark, so the bitmap grows here with
+    /// the new entries conservatively dirty (they were never covered by
+    /// the snapshot).
+    fn mark_dirtied(&mut self, seg: usize) {
+        if seg >= self.dirtied.len() {
+            self.dirtied.resize(seg + 1, true);
+        }
+        self.dirtied[seg] = true;
+    }
+
+    /// Whether a checkpoint-bounded recovery must rescan `seg`'s
+    /// headers. Out of range means the segment appeared after the
+    /// snapshot, so it must be scanned. (The old `unwrap_or(false)`
+    /// default silently skipped such segments.) Callers that iterate
+    /// the whole table call [`CkptState::cover`] first, so an
+    /// out-of-range query here indicates a missed `mark_dirtied`.
+    fn is_dirtied(&self, seg: usize) -> bool {
+        debug_assert!(
+            seg < self.dirtied.len(),
+            "segment {seg} outside the checkpoint bitmap — mark_dirtied skipped?"
+        );
+        self.dirtied.get(seg).copied().unwrap_or(true)
+    }
+
+    /// Extends the bitmap to cover `n` segments, marking any segments
+    /// that appeared after the snapshot as conservatively dirty.
+    fn cover(&mut self, n: usize) {
+        if self.dirtied.len() < n {
+            self.dirtied.resize(n, true);
+        }
+    }
+}
+
 /// The physical storage manager of §3.3.
 ///
 /// # Examples
@@ -89,6 +127,12 @@ pub struct StorageManager {
     open_write: Option<usize>,
     open_cold: Option<usize>,
     pending_tombstones: Vec<(PageId, u64)>,
+    /// Recycled scratch for tombstones carried across a segment erase;
+    /// see [`StorageManager::retire_or_erase`].
+    carry_scratch: Vec<(PageId, u64)>,
+    /// CRC-32 of one all-zero page — the expected payload checksum of
+    /// tombstone and checkpoint slots.
+    zero_crc: u32,
     /// Recycled page-sized scratch buffers for flush/GC/checkpoint paths.
     pool: PagePool,
     /// Recycled victim-page list for the flush paths (sync, tick aging,
@@ -163,6 +207,8 @@ impl StorageManager {
             open_write: None,
             open_cold: None,
             pending_tombstones: Vec::with_capacity(4 * slots.max(64)),
+            carry_scratch: Vec::with_capacity(slots.max(16)),
+            zero_crc: crc::crc32_zeros(cfg.page_size as usize),
             flush_scratch: Vec::with_capacity(buffer_frames),
             live_scratch: Vec::with_capacity(slots),
             crashed: false,
@@ -221,6 +267,10 @@ impl StorageManager {
     pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
         self.metrics.publish(reg);
         reg.gauge("storage.gc_efficiency", self.gc_efficiency());
+        reg.gauge(
+            "storage.data_at_risk_bytes",
+            self.data_at_risk_bytes() as f64,
+        );
         self.flash.publish_metrics(reg);
         for (component, e) in self.dram.energy().iter() {
             reg.counter(&format!("energy.{component}_nj"), e.as_nanojoules());
@@ -253,6 +303,10 @@ impl StorageManager {
     pub fn sample_timeline(&self, buf: &mut SampleBuf) {
         self.metrics.sample_timeline(buf);
         buf.gauge(|| "storage.gc_efficiency".into(), self.gc_efficiency());
+        buf.gauge(
+            || "storage.data_at_risk_bytes".into(),
+            self.data_at_risk_bytes() as f64,
+        );
         buf.counter(
             || "storage.free_segments".into(),
             self.table.free_count() as u64,
@@ -432,9 +486,17 @@ impl StorageManager {
             .expect("make_room guarantees a frame");
         self.dram.write(self.frame_addr(frame), data)?;
         if let Some(Location::Flash(addr)) = old {
-            // The flash copy is stale the moment a newer version exists.
+            // The flash copy is stale, but it is the page's only copy
+            // that survives a crash: shield it from GC until the newer
+            // version is durably flushed. Killing it here let GC erase
+            // synced data whose replacement was still volatile. The
+            // shadow rides in the frame slab — it exists exactly as long
+            // as the page sits dirty in a frame. (The crash-torture
+            // sweep caught the eager-kill design losing synced pages and
+            // resurrecting older generations whenever a power cut landed
+            // between a victim erase and the next flush.)
             if self.cfg.placement == Placement::LogStructured {
-                self.table.kill_at(addr);
+                self.buffer.shadow_set(frame, addr);
             }
         }
         self.map.set(page, Location::Dram(frame));
@@ -645,17 +707,23 @@ impl StorageManager {
     pub fn free_page(&mut self, page: PageId) -> Result<()> {
         self.check_alive()?;
         match self.map.remove(page) {
-            Some(Location::Dram(_)) => {
+            Some(Location::Dram(frame)) => {
+                // The shielded stale copy (if any) dies with the free; it
+                // becomes a dead copy needing a tombstone, exactly like
+                // copies dead from before the page went dirty. Taken
+                // before the frame is released, which discards its slab
+                // entry.
+                let shadow = self.buffer.shadow_take(frame);
                 self.buffer.remove(page);
                 self.metrics.deaths_absorbed += 1;
-                // A stale flash copy may still exist from before the page
-                // went dirty; it needs a tombstone to stay dead through
-                // recovery.
-                if self.cfg.placement == Placement::LogStructured
-                    && self.table.has_dead_copies(page)
-                {
-                    let seq = self.map.next_seq();
-                    self.pending_tombstones.push((page, seq));
+                if self.cfg.placement == Placement::LogStructured {
+                    if let Some(addr) = shadow {
+                        self.table.kill_at(addr);
+                    }
+                    if self.table.has_dead_copies(page) {
+                        let seq = self.map.next_seq();
+                        self.pending_tombstones.push((page, seq));
+                    }
                 }
             }
             // In-place mode leaves stale data at its fixed home; the home
@@ -727,7 +795,7 @@ impl StorageManager {
             self.maybe_wear_level()?;
             if self.cfg.checkpointing
                 && !self.ckpt.disabled
-                && now.since(self.ckpt.last) >= SimDuration::from_secs(60)
+                && now.since(self.ckpt.last) >= self.cfg.checkpoint_interval
             {
                 self.checkpoint()?;
             }
@@ -797,11 +865,24 @@ impl StorageManager {
                     // followed by `flush_data_to_flash`, minus the copy.
                     self.dram.read_borrow(frame_addr, ps)?;
                     let seq = self.map.next_seq();
-                    let (seg, addr) = self.append_slot(SegClass::Write, SlotMeta { page, seq })?;
+                    let crc = crc::crc32(self.dram.peek(frame_addr, ps));
+                    let (seg, addr) =
+                        self.append_slot(SegClass::Write, SlotMeta { page, seq, crc })?;
+                    // Dirty the segment *before* the program: a power cut
+                    // mid-program must never leave a slot the
+                    // checkpoint-bounded recovery scan would skip.
+                    self.ckpt.mark_dirtied(seg);
                     self.flash
                         .program_async(addr, self.dram.peek(frame_addr, ps))?;
-                    self.ckpt.dirtied[seg] = true;
                     self.map.set(page, Location::Flash(addr));
+                    // The newer version is durable: the shielded stale
+                    // copy (possibly relocated by GC under append_slot)
+                    // can finally die. Taken by frame index — the map no
+                    // longer points at the frame, but it isn't released
+                    // until the `buffer.remove` below.
+                    if let Some(old_addr) = self.buffer.shadow_take(frame) {
+                        self.table.kill_at(old_addr);
+                    }
                 }
                 Placement::InPlace => {
                     // In-place flush needs read-modify-write staging; keep
@@ -847,10 +928,19 @@ impl StorageManager {
         match self.cfg.placement {
             Placement::LogStructured => {
                 let seq = self.map.next_seq();
-                let (seg, addr) = self.append_slot(SegClass::Write, SlotMeta { page, seq })?;
+                let crc = crc::crc32(data);
+                let (seg, addr) = self.append_slot(SegClass::Write, SlotMeta { page, seq, crc })?;
+                self.ckpt.mark_dirtied(seg);
                 self.flash.program_async(addr, data)?;
-                self.ckpt.dirtied[seg] = true;
+                // Kill the previous durable copy only now that its
+                // replacement is on flash, and re-read its location: GC
+                // under `append_slot` may have relocated the old slot
+                // (and updated the map) since the caller sampled `old`.
+                let prev = self.map.get(page);
                 self.map.set(page, Location::Flash(addr));
+                if let Some(Location::Flash(prev_addr)) = prev {
+                    self.table.kill_at(prev_addr);
+                }
                 Ok(())
             }
             Placement::InPlace => self.flush_inplace(page, data, old),
@@ -1051,12 +1141,23 @@ impl StorageManager {
                 // GC survivors are cold by definition: they go to the cold
                 // head (and, under partitioning, to the read-mostly banks).
                 let seg = self.ensure_open(SegClass::Cold, false)?;
+                // The copy is byte-identical, so the header's CRC carries.
                 let new_slot = self.table.append(seg, meta, self.now());
                 let new_addr = self.table.slot_addr(seg, new_slot);
+                self.ckpt.mark_dirtied(seg);
                 self.flash.program_async(new_addr, &data)?;
-                self.ckpt.dirtied[seg] = true;
                 self.table.kill_at(old_addr);
-                self.map.set(meta.page, Location::Flash(new_addr));
+                // A shielded stale copy relocates with its slot; only a
+                // current copy re-points the page map (the page may be
+                // dirty in DRAM, and the map must keep saying so).
+                match self.map.get(meta.page) {
+                    Some(Location::Dram(frame))
+                        if self.buffer.shadow_get(frame) == Some(old_addr) =>
+                    {
+                        self.buffer.shadow_set(frame, new_addr);
+                    }
+                    _ => self.map.set(meta.page, Location::Flash(new_addr)),
+                }
                 self.metrics.gc_flash_pages += 1;
                 moved = true;
             }
@@ -1085,23 +1186,89 @@ impl StorageManager {
     }
 
     /// Erases a drained victim segment, or retires it if the block has
-    /// worn out. Carried tombstones are re-queued directly onto the
-    /// pending list — no intermediate batch.
+    /// worn out.
+    ///
+    /// WAL discipline for tombstones: any record in the victim whose
+    /// page still has a stale copy on flash is re-logged durably
+    /// *before* the erase is issued. The previous design queued carried
+    /// tombstones on the DRAM `pending_tombstones` list, which opened
+    /// two resurrection windows the crash-torture sweep flagged: a
+    /// power cut after the erase but before the next tombstone flush
+    /// lost the only durable record of a synced delete, and a *torn*
+    /// erase could wipe the tombstone slot's half of the block while
+    /// the stale data copy in the other half survived. Only when no
+    /// segment can be opened without recursing into GC do the records
+    /// fall back to the DRAM list (terminal space pressure).
     // lint: hot-path
     fn retire_or_erase(&mut self, victim: usize) -> Result<()> {
+        let mut carried = core::mem::take(&mut self.carry_scratch);
+        carried.clear();
+        self.table.peek_carried_into(victim, &mut carried);
+        let relogged = if carried.is_empty() {
+            false
+        } else {
+            match self.log_carried_tombstones(&mut carried) {
+                Ok(durable) => durable,
+                Err(e) => {
+                    carried.clear();
+                    self.carry_scratch = carried;
+                    return Err(e);
+                }
+            }
+        };
         let block = self.flash.block_of(self.table.block_addr(victim));
-        match self.flash.erase_async(block) {
+        let r = match self.flash.erase_async(block) {
             Ok(done) => {
-                self.table
-                    .begin_erase_into(victim, done, &mut self.pending_tombstones);
+                if relogged {
+                    // Already durable: discard the release-time copies.
+                    self.table.begin_erase_into(victim, done, &mut carried);
+                } else {
+                    self.table
+                        .begin_erase_into(victim, done, &mut self.pending_tombstones);
+                }
                 Ok(())
             }
             Err(DeviceError::WornOut { .. }) | Err(DeviceError::BadBlock { .. }) => {
-                self.table.retire_into(victim, &mut self.pending_tombstones);
+                if relogged {
+                    self.table.retire_into(victim, &mut carried);
+                } else {
+                    self.table.retire_into(victim, &mut self.pending_tombstones);
+                }
                 Ok(())
             }
             Err(e) => Err(e.into()),
+        };
+        carried.clear();
+        self.carry_scratch = carried;
+        r
+    }
+
+    /// Durably logs carried tombstone records into the cold head ahead
+    /// of a segment erase. Returns `Ok(true)` when every record was
+    /// programmed; `Ok(false)` means no segment could be opened without
+    /// recursing into GC and the records went to the DRAM pending list
+    /// instead (the degraded pre-fix behaviour).
+    // lint: hot-path
+    fn log_carried_tombstones(&mut self, records: &mut Vec<(PageId, u64)>) -> Result<bool> {
+        let per_slot = self.tombstones_per_slot();
+        while !records.is_empty() {
+            let Ok(seg) = self.ensure_open(SegClass::Write, false) else {
+                self.pending_tombstones.append(records);
+                return Ok(false);
+            };
+            let take = per_slot.min(records.len());
+            let batch = self.table.tomb_batch(records, take);
+            let now = self.now();
+            let slot = self.table.append_tomb(seg, batch, now);
+            let addr = self.table.slot_addr(seg, slot);
+            self.ckpt.mark_dirtied(seg);
+            let data = self.pool.take_zeroed();
+            let programmed = self.flash.program_async(addr, &data);
+            self.pool.put(data);
+            programmed?;
+            self.metrics.summary_flash_pages += 1;
         }
+        Ok(true)
     }
 
     // ------------------------------------------------------------------
@@ -1183,10 +1350,18 @@ impl StorageManager {
             self.flash.read(old_addr, &mut data)?;
             let new_slot = self.table.append(dest, meta, self.now());
             let new_addr = self.table.slot_addr(dest, new_slot);
+            self.ckpt.mark_dirtied(dest);
             self.flash.program_async(new_addr, &data)?;
-            self.ckpt.dirtied[dest] = true;
             self.table.kill_at(old_addr);
-            self.map.set(meta.page, Location::Flash(new_addr));
+            // Same shielded-copy rule as the GC copy loop above.
+            match self.map.get(meta.page) {
+                Some(Location::Dram(frame))
+                    if self.buffer.shadow_get(frame) == Some(old_addr) =>
+                {
+                    self.buffer.shadow_set(frame, new_addr);
+                }
+                _ => self.map.set(meta.page, Location::Flash(new_addr)),
+            }
             self.metrics.gc_flash_pages += 1;
         }
         live.clear();
@@ -1253,11 +1428,12 @@ impl StorageManager {
             let now = self.now();
             let slot = self.table.append_tomb(seg, batch, now);
             let addr = self.table.slot_addr(seg, slot);
+            self.ckpt.mark_dirtied(seg);
             // Tombstone slots are real programs: zeroed payload of records.
             let data = self.pool.take_zeroed();
-            self.flash.program_async(addr, &data)?;
+            let programmed = self.flash.program_async(addr, &data);
             self.pool.put(data);
-            self.ckpt.dirtied[seg] = true;
+            programmed?;
             self.metrics.summary_flash_pages += 1;
         }
         Ok(())
@@ -1328,6 +1504,10 @@ impl StorageManager {
     pub fn crash(&mut self) {
         self.crash_buffered = self.buffer.pages();
         self.crash_pending_tombs = self.pending_tombstones.drain(..).map(|(p, _)| p).collect();
+        // The shielded stale copies stop being shadows the moment the
+        // buffered replacements die with the DRAM: recovery will pick
+        // them up as ordinary live slots (highest surviving sequence).
+        // `buffer.clear()` drops the shadows with their frames.
         self.buffer.clear();
         self.map.clear();
         self.dram.lose_contents();
@@ -1352,6 +1532,8 @@ impl StorageManager {
                 resurrected_pages: 0,
                 duration: SimDuration::ZERO,
                 used_checkpoint: false,
+                invalidated_slots: 0,
+                scrubbed_segments: 0,
             });
         }
         let start = self.now();
@@ -1372,9 +1554,12 @@ impl StorageManager {
                     }
                     self.pool.put(page);
                     // Ascending scan over the bitmap: the same order the
-                    // old sorted-set iteration charged reads in.
+                    // old sorted-set iteration charged reads in. Cover
+                    // first: segments past the snapshot-time bitmap are
+                    // conservatively dirty, never silently clean.
+                    self.ckpt.cover(self.table.len());
                     for seg in 0..self.table.len() {
-                        if !self.ckpt.dirtied.get(seg).copied().unwrap_or(false) {
+                        if !self.ckpt.is_dirtied(seg) {
                             continue;
                         }
                         let n = self.table.seg(seg).next_slot;
@@ -1398,7 +1583,18 @@ impl StorageManager {
                         }
                     }
                 }
+                // A power cut can tear the program that was in flight:
+                // the slot header landed in the table but the flash holds
+                // a partial (or garbage) payload. Check every programmed
+                // slot's payload against the CRC carried in its header
+                // and drop the ones that fail before rebuilding liveness,
+                // so a torn write can never surface as a corrupt page.
+                let invalidated = self.validate_slot_crcs();
                 let (live, max_seq) = self.table.recover_liveness();
+                // Defensive scrub: a Free segment whose block is not
+                // actually erased (a torn erase) would fault the next
+                // program placed on it. Re-issue or retire such blocks.
+                let scrubbed = self.scrub_torn_erases()?;
                 let recovered = live.len() as u64;
                 let mut resurrected = 0u64;
                 for page in &self.crash_pending_tombs {
@@ -1431,6 +1627,8 @@ impl StorageManager {
                     resurrected_pages: resurrected,
                     duration: self.now().since(start),
                     used_checkpoint,
+                    invalidated_slots: invalidated,
+                    scrubbed_segments: scrubbed,
                 })
             }
             Placement::InPlace => {
@@ -1457,9 +1655,120 @@ impl StorageManager {
                     resurrected_pages: 0,
                     duration: self.now().since(start),
                     used_checkpoint: false,
+                    invalidated_slots: 0,
+                    scrubbed_segments: 0,
                 })
             }
         }
+    }
+
+    /// Discards every programmed slot whose flash payload fails the CRC
+    /// recorded in its header — the footprint of a program torn by power
+    /// loss. Runs before `recover_liveness`, which recomputes live/dead
+    /// counts from scratch and skips `Empty` slots, so invalidation here
+    /// is safe. The byte inspection is free of charged reads: its cost
+    /// is folded into the per-header read charge of the recovery scan.
+    fn validate_slot_crcs(&mut self) -> u64 {
+        let ps = self.cfg.page_size as usize;
+        let mut bad: Vec<(usize, usize)> = Vec::new();
+        {
+            let contents = self.flash.contents();
+            for seg in 0..self.table.len() {
+                if matches!(
+                    self.table.seg(seg).state,
+                    SegState::Free | SegState::Retired | SegState::ErasePending
+                ) {
+                    continue;
+                }
+                let n = self.table.seg(seg).next_slot;
+                for slot in 0..n {
+                    let expect = match &self.table.seg(seg).slots[slot] {
+                        Slot::Live(m) | Slot::Dead(m) => m.crc,
+                        Slot::Tomb(_) => self.zero_crc,
+                        Slot::Empty => continue,
+                    };
+                    let addr = self.table.slot_addr(seg, slot) as usize;
+                    let mut torn = crc::crc32(&contents[addr..addr + ps]) != expect;
+                    // The canary feature plants a recovery bug on purpose:
+                    // torn payloads are accepted as valid, which the CI
+                    // torture smoke must catch as a durability violation.
+                    torn = torn && !cfg!(feature = "recovery-fault-canary");
+                    if torn {
+                        bad.push((seg, slot));
+                    }
+                }
+            }
+        }
+        for &(seg, slot) in &bad {
+            self.table.invalidate_slot(seg, slot);
+        }
+        bad.len() as u64
+    }
+
+    /// Re-erases (or retires) Free segments whose blocks read back
+    /// partially programmed — the footprint of an erase torn by power
+    /// loss. In the current device model an armed cut fires *before* the
+    /// erase applies (the segment stays out of Free), so this path is
+    /// defensive depth for any future device where erasure is destructive
+    /// mid-flight.
+    fn scrub_torn_erases(&mut self) -> Result<u64> {
+        let mut scrubbed = 0u64;
+        for seg in 0..self.table.len() {
+            if self.table.seg(seg).state != SegState::Free {
+                continue;
+            }
+            let addr = self.table.block_addr(seg);
+            if self.flash.is_erased(addr, self.cfg.flash.block_bytes) {
+                continue;
+            }
+            let block = self.flash.block_of(addr);
+            match self.flash.erase_async(block) {
+                Ok(done) => {
+                    self.table.scrub_erase(seg, done);
+                    scrubbed += 1;
+                }
+                Err(DeviceError::WornOut { .. }) | Err(DeviceError::BadBlock { .. }) => {
+                    self.table.retire_free(seg);
+                    scrubbed += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(scrubbed)
+    }
+
+    // ------------------------------------------------------------------
+    // Power-cut injection (crash-torture harness)
+    // ------------------------------------------------------------------
+
+    /// Arms a simulated power cut at the `boundary`-th flash program or
+    /// erase (1-based, counted from device creation), with the given
+    /// tear mode. Passthrough to `Flash::arm_power_cut` for the torture
+    /// harness.
+    pub fn arm_power_cut(&mut self, boundary: u64, tear: TearMode) {
+        self.flash.arm_power_cut(boundary, tear);
+    }
+
+    /// Whether an armed power cut has fired. Sample this *before*
+    /// [`StorageManager::crash`]: the power cycle inside `crash` clears
+    /// the plan and the fired flag.
+    pub fn power_cut_fired(&self) -> bool {
+        self.flash.power_cut_fired()
+    }
+
+    /// Flash program/erase boundaries issued so far — the coordinate
+    /// system of [`StorageManager::arm_power_cut`].
+    pub fn boundary_ops(&self) -> u64 {
+        self.flash.boundary_ops()
+    }
+
+    /// Bytes of synced-visible state currently held only in DRAM: dirty
+    /// buffer pages plus pending tombstone records. This is the paper
+    /// §3.1 "data at risk" quantity — what a battery death right now
+    /// would expose to loss or resurrection.
+    pub fn data_at_risk_bytes(&self) -> u64 {
+        self.buffer.len() as u64 * self.cfg.page_size
+            + self.pending_tombstones.len() as u64 * RECORD_BYTES
     }
 }
 
@@ -1828,5 +2137,417 @@ mod tests {
         clock.advance(SimDuration::from_secs(10));
         m.tick().expect("tick");
         assert_eq!(m.metrics().user_flash_pages, 1, "hot page not flushed");
+    }
+
+    // --------------------------------------------------------------
+    // Crash-torture regression pins
+    // --------------------------------------------------------------
+
+    /// Regression: the dirtied bitmap used to be indexed blindly on the
+    /// write path and defaulted out-of-range segments to *clean* on the
+    /// recovery path — a segment past the checkpoint-time bitmap length
+    /// was silently skipped by the bounded scan. Growth must resize the
+    /// bitmap and out-of-range queries must default to dirty.
+    #[test]
+    fn dirtied_bitmap_grows_conservatively_past_checkpoint_size() {
+        let mut ck = CkptState {
+            active: 0,
+            valid: true,
+            pages: 1,
+            dirtied: vec![false; 2],
+            last: SimTime::ZERO,
+            disabled: false,
+        };
+        ck.mark_dirtied(1);
+        assert!(ck.is_dirtied(1));
+        assert!(!ck.is_dirtied(0));
+        // Mark past the checkpoint-time size: the bitmap grows, and the
+        // gap segments (2..=4) default to dirty, never silently clean.
+        ck.mark_dirtied(5);
+        assert_eq!(ck.dirtied.len(), 6);
+        assert!(ck.is_dirtied(5));
+        assert!(ck.is_dirtied(3), "gap segment must default dirty");
+        assert!(!ck.is_dirtied(0), "explicitly clean segments stay clean");
+    }
+
+    /// End-to-end version: a checkpoint-time bitmap shorter than the
+    /// segment table (simulating growth) must neither panic on the next
+    /// flush nor lose segments from the post-crash scan.
+    #[test]
+    fn recovery_survives_bitmap_shorter_than_table() {
+        let (mut m, _) = manager();
+        m.write_page(1, &page_of(0x11)).expect("write");
+        m.sync().expect("sync");
+        m.checkpoint().expect("checkpoint");
+        // Simulate a table that grew after the checkpoint snapshot.
+        m.ckpt.dirtied.truncate(1);
+        for p in 0..24u64 {
+            m.write_page(p, &page_of(p as u8)).expect("write");
+        }
+        m.sync().expect("sync");
+        m.crash();
+        let report = m.recover().expect("recover");
+        assert!(report.used_checkpoint);
+        let mut buf = page_of(0);
+        for p in 0..24u64 {
+            m.read_page(p, &mut buf).expect("read");
+            assert_eq!(buf, page_of(p as u8), "page {p}");
+        }
+    }
+
+    /// Satellite 2: once a checkpoint block wears out mid-run, recovery
+    /// must fall back to the full scan and never consult the stale (but
+    /// still `valid`) snapshot.
+    #[test]
+    fn recovery_after_checkpoint_wearout_full_scans() {
+        let clock = Clock::shared();
+        let cfg = StorageConfig {
+            flash: FlashSpec {
+                banks: 2,
+                blocks_per_bank: 8,
+                block_bytes: 4096,
+                write_unit: 512,
+                endurance: 2,
+                ..FlashSpec::default()
+            },
+            ..small_cfg()
+        };
+        let mut m = StorageManager::new(cfg, clock);
+        m.write_page(1, &page_of(0x11)).expect("write");
+        m.sync().expect("sync");
+        // Ping-pong wears each checkpoint block in turn; with endurance
+        // 2 the fifth checkpoint hits a worn block and disables the
+        // mechanism for good.
+        for _ in 0..5 {
+            m.checkpoint().expect("checkpoint");
+        }
+        assert!(m.ckpt.disabled, "checkpoint area should wear out");
+        assert!(m.ckpt.valid, "a stale snapshot still exists");
+        // Data written after the wear-out exists only in the log.
+        m.write_page(2, &page_of(0x22)).expect("write");
+        m.sync().expect("sync");
+        m.crash();
+        let report = m.recover().expect("recover");
+        assert!(!report.used_checkpoint, "stale checkpoint must be ignored");
+        let mut buf = page_of(0);
+        m.read_page(1, &mut buf).expect("read old");
+        assert_eq!(buf, page_of(0x11));
+        m.read_page(2, &mut buf).expect("read new");
+        assert_eq!(buf, page_of(0x22));
+    }
+
+    /// Satellite 3a: successive checkpoints alternate between the two
+    /// reserved blocks so a crash mid-write always leaves the previous
+    /// snapshot intact.
+    #[test]
+    fn checkpoint_blocks_alternate_ping_pong() {
+        let (mut m, _) = manager();
+        m.write_page(1, &page_of(1)).expect("write");
+        m.sync().expect("sync");
+        assert_eq!(m.ckpt.active, 0, "block 0 active before any checkpoint");
+        m.checkpoint().expect("checkpoint");
+        assert_eq!(m.ckpt.active, 1);
+        m.checkpoint().expect("checkpoint");
+        assert_eq!(m.ckpt.active, 0);
+        m.checkpoint().expect("checkpoint");
+        assert_eq!(m.ckpt.active, 1);
+        assert_eq!(m.flash.erase_count(ssmc_device::BlockId(0)), 1);
+        assert_eq!(m.flash.erase_count(ssmc_device::BlockId(1)), 2);
+    }
+
+    /// Satellite 3b: a power cut during `checkpoint()` — either in the
+    /// target block's erase or its first program — must leave the
+    /// previous block's snapshot recoverable.
+    #[test]
+    fn torn_checkpoint_leaves_previous_snapshot_recoverable() {
+        for cut_offset in [1u64, 2u64] {
+            let (mut m, _) = manager();
+            for p in 0..8u64 {
+                m.write_page(p, &page_of(p as u8)).expect("write");
+            }
+            m.sync().expect("sync");
+            m.checkpoint().expect("checkpoint");
+            assert_eq!(m.ckpt.active, 1);
+            m.write_page(8, &page_of(8)).expect("write");
+            m.sync().expect("sync");
+            // Offset 1 cuts the erase of block 0; offset 2 lets the
+            // erase through and tears the first snapshot program.
+            m.arm_power_cut(m.boundary_ops() + cut_offset, TearMode::Prefix);
+            let err = m.checkpoint().expect_err("checkpoint hits the cut");
+            assert!(matches!(
+                err,
+                StorageError::Device(DeviceError::PowerCut { .. })
+            ));
+            assert!(m.power_cut_fired());
+            assert_eq!(m.ckpt.active, 1, "state only advances after success");
+            m.crash();
+            let report = m.recover().expect("recover");
+            assert!(report.used_checkpoint, "previous snapshot still bounds");
+            let mut buf = page_of(0);
+            for p in 0..9u64 {
+                m.read_page(p, &mut buf).expect("read");
+                assert_eq!(buf, page_of(p as u8), "cut_offset {cut_offset} page {p}");
+            }
+        }
+    }
+
+    /// Regression for the torn-erase resurrection bug: a tombstone whose
+    /// page still has a stale copy elsewhere must be durably re-logged
+    /// *before* its segment is erased. The pre-fix code carried it on
+    /// the DRAM pending list, so a crash between the erase and the next
+    /// tombstone flush resurrected a synced delete.
+    #[test]
+    fn carried_tombstone_survives_erase_of_its_segment() {
+        let (mut m, _) = manager();
+        // Fill one segment with pages 0..8, then delete page 3 and sync
+        // the tombstone: the data segment keeps a dead copy of page 3,
+        // the tombstone lands in the cold segment.
+        for p in 0..8u64 {
+            m.write_page(p, &page_of(p as u8)).expect("write");
+        }
+        m.sync().expect("sync");
+        m.free_page(3).expect("free");
+        m.sync().expect("sync tombstone");
+        assert!(m.table.has_dead_copies(3));
+        let tomb_seg = m
+            .open_write
+            .expect("tombstone flush opened a fresh write segment");
+        assert_eq!(m.table.seg(tomb_seg).live, 0, "tomb-only segment");
+        // Drain the tombstone segment (no live pages) and erase it, the
+        // way GC would after its data died.
+        m.table.close(tomb_seg);
+        m.open_write = None;
+        m.retire_or_erase(tomb_seg).expect("erase");
+        // Crash before any later tombstone flush could run.
+        m.crash();
+        m.recover().expect("recover");
+        assert!(
+            !m.contains(3),
+            "synced delete resurrected: tombstone died with its segment"
+        );
+        for p in [0u64, 1, 2, 4, 5, 6, 7] {
+            assert!(m.contains(p), "page {p} must survive");
+        }
+    }
+
+    /// A program torn by power loss must be detected by the slot CRC and
+    /// the page reverted to its last synced version.
+    #[test]
+    fn torn_data_program_is_detected_and_reverted() {
+        for tear in [TearMode::Prefix, TearMode::Stripe] {
+            let (mut m, _) = manager();
+            m.write_page(7, &page_of(0x11)).expect("write");
+            m.sync().expect("sync v1");
+            m.write_page(7, &page_of(0x99)).expect("rewrite");
+            m.arm_power_cut(m.boundary_ops() + 1, tear);
+            m.sync().expect_err("flush hits the cut");
+            assert!(m.power_cut_fired());
+            m.crash();
+            let report = m.recover().expect("recover");
+            assert_eq!(report.invalidated_slots, 1, "{tear:?}");
+            let mut buf = page_of(0);
+            m.read_page(7, &mut buf).expect("read");
+            assert_eq!(buf, page_of(0x11), "{tear:?}: reverts to synced v1");
+        }
+    }
+
+    /// A clean (untorn) cut leaves the in-flight slot header without its
+    /// payload bytes; recovery must invalidate it the same way.
+    #[test]
+    fn clean_cut_slot_is_invalidated_too() {
+        let (mut m, _) = manager();
+        m.write_page(7, &page_of(0x11)).expect("write");
+        m.sync().expect("sync v1");
+        m.write_page(7, &page_of(0x99)).expect("rewrite");
+        m.arm_power_cut(m.boundary_ops() + 1, TearMode::Clean);
+        m.sync().expect_err("flush hits the cut");
+        m.crash();
+        let report = m.recover().expect("recover");
+        assert_eq!(report.invalidated_slots, 1);
+        let mut buf = page_of(0);
+        m.read_page(7, &mut buf).expect("read");
+        assert_eq!(buf, page_of(0x11));
+    }
+
+    /// Defensive scrub: a Free segment whose block reads back partially
+    /// programmed (a torn erase under a destructive-erase device model)
+    /// must be re-erased during recovery, not handed out as-is.
+    #[test]
+    fn recovery_scrubs_partially_programmed_free_segment() {
+        let (mut m, _) = manager();
+        m.write_page(1, &page_of(0x11)).expect("write");
+        m.sync().expect("sync");
+        // Plant garbage directly on a Free segment's block, simulating
+        // the residue of a half-applied erase.
+        let free_seg = (0..m.table.len())
+            .find(|&s| m.table.seg(s).state == SegState::Free)
+            .expect("a free segment exists");
+        let addr = m.table.block_addr(free_seg);
+        m.flash
+            .program_async(addr, &page_of(0xEE))
+            .expect("plant residue");
+        m.crash();
+        let report = m.recover().expect("recover");
+        assert_eq!(report.scrubbed_segments, 1);
+        assert_eq!(
+            m.table.seg(free_seg).state,
+            SegState::ErasePending,
+            "scrub re-erases the residue block"
+        );
+    }
+
+    /// §3.1's data-at-risk quantity: dirty buffer pages plus pending
+    /// tombstone records, in bytes; zero right after a sync.
+    #[test]
+    fn data_at_risk_tracks_unsynced_state() {
+        let (mut m, _) = manager();
+        assert_eq!(m.data_at_risk_bytes(), 0);
+        m.write_page(1, &page_of(1)).expect("write");
+        m.write_page(2, &page_of(2)).expect("write");
+        assert_eq!(m.data_at_risk_bytes(), 2 * 512);
+        m.sync().expect("sync");
+        assert_eq!(m.data_at_risk_bytes(), 0);
+        m.free_page(1).expect("free");
+        assert_eq!(m.data_at_risk_bytes(), RECORD_BYTES);
+        m.sync().expect("sync");
+        assert_eq!(m.data_at_risk_bytes(), 0);
+    }
+
+    /// Counts Live slots for `page` across the whole segment table.
+    fn live_copies(m: &StorageManager, page: PageId) -> usize {
+        (0..m.table.len())
+            .flat_map(|s| m.table.seg(s).slots.iter())
+            .filter(|slot| matches!(slot, Slot::Live(meta) if meta.page == page))
+            .count()
+    }
+
+    /// The shielded stale-copy address recorded for `page`'s buffer
+    /// frame, if the page is dirty and carries one.
+    fn shadow_of(m: &StorageManager, page: PageId) -> Option<u64> {
+        match m.map.get(page) {
+            Some(Location::Dram(frame)) => m.buffer.shadow_get(frame),
+            _ => None,
+        }
+    }
+
+    /// Regression (crash-torture sweep, BSD seed 0x0C0F_FEE5, cuts
+    /// 7736-7998): rewriting a flash-resident page into the DRAM buffer
+    /// used to kill its durable slot immediately, leaving the segment
+    /// fully dead while the only current copy was still volatile. The
+    /// shadow shield must keep the stale copy Live until the
+    /// replacement is programmed.
+    #[test]
+    fn dirty_rewrite_shields_stale_durable_copy() {
+        let (mut m, _) = manager();
+        m.write_page(9, &page_of(0x01)).expect("write v1");
+        m.sync().expect("sync v1");
+        assert_eq!(live_copies(&m, 9), 1);
+        // Dirty rewrite: the durable v1 slot must stay Live (shadowed),
+        // even though the page map now points at DRAM.
+        m.write_page(9, &page_of(0x02)).expect("rewrite");
+        assert_eq!(m.map.get(9), Some(Location::Dram(0)));
+        assert_eq!(live_copies(&m, 9), 1, "stale copy eagerly killed");
+        assert!(shadow_of(&m, 9).is_some());
+        // Flushing the replacement retires the shadow: exactly one Live
+        // copy again, and it is the new one.
+        m.sync().expect("sync v2");
+        assert!(shadow_of(&m, 9).is_none());
+        assert_eq!(live_copies(&m, 9), 1);
+        let mut buf = page_of(0);
+        m.read_page(9, &mut buf).expect("read");
+        assert_eq!(buf, page_of(0x02));
+    }
+
+    /// Freeing a dirty page whose stale flash copy is shadow-shielded
+    /// must kill the shield *and* queue a tombstone, or recovery
+    /// resurrects the stale copy.
+    #[test]
+    fn free_of_dirty_page_kills_shadow_and_tombstones() {
+        let (mut m, _) = manager();
+        m.write_page(4, &page_of(0x44)).expect("write");
+        m.sync().expect("sync");
+        m.write_page(4, &page_of(0x45)).expect("rewrite");
+        assert!(shadow_of(&m, 4).is_some());
+        m.free_page(4).expect("free");
+        assert_eq!(live_copies(&m, 4), 0, "shield must die with the page");
+        assert!(
+            m.pending_tombstones.iter().any(|&(p, _)| p == 4),
+            "dead flash copy needs a tombstone"
+        );
+        m.sync().expect("sync tombstone");
+        m.crash();
+        m.recover().expect("recover");
+        let mut buf = page_of(0xFF);
+        m.read_page(4, &mut buf).expect("read");
+        assert_eq!(buf, page_of(0), "freed page resurrected");
+    }
+
+    /// The bug the sweep actually caught: a segment whose every page has
+    /// been rewritten into the buffer looks fully dead, so GC's
+    /// free-lunch path erases it — destroying the only durable copies —
+    /// and a crash before the next flush loses synced data. Post-fix the
+    /// shadowed slots count as live, GC copies them forward, and
+    /// recovery restores v1.
+    #[test]
+    fn gc_never_erases_shadowed_copies_of_dirty_pages() {
+        // A large target makes collect_garbage hungry enough to run
+        // unconditionally, without needing organic space pressure.
+        let cfg = StorageConfig {
+            gc_target_segments: 13,
+            ..small_cfg()
+        };
+        let clock = Clock::shared();
+        let mut m = StorageManager::new(cfg, clock);
+        // Fill one segment (8 slots) with synced v1 data...
+        for p in 0..8 {
+            m.write_page(p, &page_of(p as u8 + 1)).expect("write v1");
+        }
+        m.sync().expect("sync v1");
+        // ...and close it by pushing one more page into the next one.
+        m.write_page(100, &page_of(0x64)).expect("filler");
+        m.sync().expect("sync filler");
+        let victim = (0..m.table.len())
+            .find(|&s| m.table.seg(s).state == SegState::Closed && m.table.seg(s).live >= 8)
+            .expect("v1 segment is closed");
+        // Rewrite every page dirty: pre-fix this zeroed the segment's
+        // live count, making it free-lunch GC bait.
+        for p in 0..8 {
+            m.write_page(p, &page_of(p as u8 + 0x11)).expect("rewrite");
+        }
+        assert_eq!(
+            m.table.seg(victim).live,
+            8,
+            "shadowed copies must stay live"
+        );
+        m.collect_garbage().expect("gc");
+        // Crash with the rewrites still volatile; recovery must land on
+        // the synced v1 generation, wherever GC moved it.
+        m.crash();
+        m.recover().expect("recover");
+        for p in 0..8 {
+            let mut buf = page_of(0);
+            m.read_page(p, &mut buf).expect("read");
+            assert_eq!(buf, page_of(p as u8 + 1), "synced v1 of page {p} lost");
+        }
+    }
+
+    /// Write-through companion bug: the unbuffered log path never killed
+    /// the previous slot on rewrite, leaking a stale Live copy that GC
+    /// would dutifully copy forward forever (and whose map entry a later
+    /// GC pass could clobber).
+    #[test]
+    fn write_through_rewrite_kills_previous_slot() {
+        let cfg = StorageConfig {
+            dram_buffer_bytes: 0,
+            ..small_cfg()
+        };
+        let clock = Clock::shared();
+        let mut m = StorageManager::new(cfg, clock);
+        m.write_page(6, &page_of(0x61)).expect("write v1");
+        m.write_page(6, &page_of(0x62)).expect("write v2");
+        assert_eq!(live_copies(&m, 6), 1, "stale write-through copy leaked");
+        let mut buf = page_of(0);
+        m.read_page(6, &mut buf).expect("read");
+        assert_eq!(buf, page_of(0x62));
     }
 }

@@ -26,6 +26,13 @@ pub struct RecoveryReport {
     pub duration: SimDuration,
     /// Whether a checkpoint bounded the scan.
     pub used_checkpoint: bool,
+    /// Slots discarded because their payload failed its CRC check — the
+    /// footprint of programs torn by the power loss.
+    pub invalidated_slots: u64,
+    /// Free segments re-erased because the crash tore their erase (the
+    /// block read back partially programmed); reusing them without the
+    /// scrub would fault the next program.
+    pub scrubbed_segments: u64,
 }
 
 impl RecoveryReport {
@@ -48,6 +55,8 @@ mod tests {
             resurrected_pages: 1,
             duration: SimDuration::from_millis(10),
             used_checkpoint: true,
+            invalidated_slots: 0,
+            scrubbed_segments: 0,
         };
         assert_eq!(r.pages_at_risk(), 7);
     }

@@ -26,6 +26,10 @@ pub struct SlotMeta {
     /// Global write sequence at the time of the program; recovery keeps
     /// the highest sequence per page.
     pub seq: u64,
+    /// CRC-32 of the page bytes programmed with this header. Recovery
+    /// recomputes it from the flash array; a mismatch means the program
+    /// was torn by power loss and the slot must be discarded.
+    pub crc: u32,
 }
 
 /// A slot's lifecycle.
@@ -391,6 +395,67 @@ impl SegmentTable {
         slot
     }
 
+    /// Discards a slot whose on-flash payload failed its CRC check: the
+    /// program was torn by power loss, so the record never happened.
+    /// Recovery-only — liveness and dead-copy accounting are left to the
+    /// [`SegmentTable::recover_liveness`] rebuild that follows, which
+    /// recomputes both from scratch and skips `Empty` slots. A discarded
+    /// tombstone slot also drops its records from the segment's carried
+    /// set (they were never durable).
+    pub fn invalidate_slot(&mut self, seg: usize, slot: usize) {
+        let s = &mut self.segments[seg];
+        if let Slot::Tomb(v) = core::mem::replace(&mut s.slots[slot], Slot::Empty) {
+            let mut v = v;
+            v.clear();
+            self.tomb_pool.push(v);
+            let s = &mut self.segments[seg];
+            s.tombstones.clear();
+            // Rebuild the aggregate from the tombstone slots that survive.
+            for sl in 0..s.slots.len() {
+                if let Slot::Tomb(entries) = &s.slots[sl] {
+                    s.tombstones.extend(entries.iter().copied());
+                }
+            }
+        }
+    }
+
+    /// Permanently retires a *free* segment whose block wore out during a
+    /// post-recovery scrub erase. Unlike [`SegmentTable::retire_into`]
+    /// there is no metadata to release: the segment holds nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not free.
+    pub fn retire_free(&mut self, seg: usize) {
+        assert_eq!(
+            self.segments[seg].state,
+            SegState::Free,
+            "retire_free of non-free segment"
+        );
+        self.free_count -= 1;
+        self.segments[seg].state = SegState::Retired;
+        self.retired_count += 1;
+    }
+
+    /// Moves a *free* segment back to erase-pending for a scrub re-erase:
+    /// recovery found its block partially programmed (a torn erase), so
+    /// it must be erased again before slots can be placed on it. There
+    /// is no metadata to release — the segment was already free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not free.
+    pub fn scrub_erase(&mut self, seg: usize, completes: SimTime) {
+        assert_eq!(
+            self.segments[seg].state,
+            SegState::Free,
+            "scrub erase of non-free segment"
+        );
+        self.free_count -= 1;
+        self.segments[seg].state = SegState::ErasePending;
+        self.pending_erase.push((completes, seg));
+    }
+
     /// Marks the slot at `addr` dead (its page was rewritten or deleted).
     ///
     /// # Panics
@@ -467,6 +532,28 @@ impl SegmentTable {
         // Hand the (drained) vector back so its capacity is reused the
         // next time this segment accumulates tombstones.
         self.segments[seg].tombstones = tombs;
+    }
+
+    /// Appends to `out` the tombstones in `seg` whose loss could
+    /// resurrect a page: every record whose page still has a stale
+    /// (dead) copy on flash — *including* copies inside `seg` itself.
+    /// The erase path logs these durably *before* issuing the erase.
+    ///
+    /// This is deliberately broader than the filter in
+    /// [`SegmentTable::release_metadata_into`] (which skips tombstones
+    /// whose only stale copies die with the segment): a *torn* erase can
+    /// wipe the half of the block holding the tombstone slot while the
+    /// half holding the stale data copy survives, and recovery would
+    /// then pick the stale copy as the page's winner — a synced delete
+    /// coming back from the dead.
+    // lint: hot-path
+    pub fn peek_carried_into(&self, seg: usize, out: &mut Vec<(PageId, u64)>) {
+        let s = &self.segments[seg];
+        for &(page, seq) in &s.tombstones {
+            if self.dead_copies.get(page).is_some_and(|n| n > 0) {
+                out.push((page, seq));
+            }
+        }
     }
 
     /// Begins erasing a closed segment; it becomes usable again once
@@ -566,6 +653,16 @@ impl SegmentTable {
                 *slot = Slot::Empty;
             }
             self.free_count += 1;
+        }
+
+        // The write heads died with the power: half-filled open segments
+        // are closed so GC can reclaim them. (Recovery has no trustworthy
+        // append position to resume, and a segment left `Open` forever is
+        // invisible to victim selection — a capacity leak.)
+        for s in &mut self.segments {
+            if s.state == SegState::Open {
+                s.state = SegState::Closed;
+            }
         }
 
         // Pass 1: find the winning sequence per page.
@@ -672,6 +769,10 @@ mod tests {
         SimTime::ZERO + SimDuration::from_secs(s)
     }
 
+    fn sm(page: PageId, seq: u64) -> SlotMeta {
+        SlotMeta { page, seq, crc: 0 }
+    }
+
     fn table() -> SegmentTable {
         // 4 segments, 8 slots, blocks of 4 KiB with 512-byte pages,
         // starting at address 8192.
@@ -696,17 +797,14 @@ mod tests {
         let mut tb = table();
         assert_eq!(tb.free_segments(), vec![0, 1, 2, 3]);
         tb.open(0);
-        let slot = tb.append(0, SlotMeta { page: 42, seq: 1 }, t(1));
+        let slot = tb.append(0, sm(42, 1), t(1));
         assert_eq!(slot, 0);
         assert_eq!(tb.seg(0).live, 1);
         assert_eq!(tb.seg(0).youngest_write, t(1));
         for i in 1..8u64 {
             tb.append(
                 0,
-                SlotMeta {
-                    page: 100 + i,
-                    seq: 1 + i,
-                },
+                sm(100 + i, 1 + i),
                 t(2),
             );
         }
@@ -721,7 +819,7 @@ mod tests {
     fn kill_marks_dead_and_tracks_copies() {
         let mut tb = table();
         tb.open(0);
-        let slot = tb.append(0, SlotMeta { page: 7, seq: 1 }, t(0));
+        let slot = tb.append(0, sm(7, 1), t(0));
         let addr = tb.slot_addr(0, slot);
         assert!(!tb.has_dead_copies(7));
         tb.kill_at(addr);
@@ -744,7 +842,7 @@ mod tests {
     fn erase_lifecycle_reaps_on_time() {
         let mut tb = table();
         tb.open(0);
-        let s = tb.append(0, SlotMeta { page: 1, seq: 1 }, t(0));
+        let s = tb.append(0, sm(1, 1), t(0));
         tb.kill_at(tb.slot_addr(0, s));
         tb.close(0);
         let carried = tb.begin_erase(0, t(5));
@@ -775,7 +873,7 @@ mod tests {
         // Page 9's stale copy lives in segment 1; its tombstone was logged
         // in segment 0.
         tb.open(1);
-        let s = tb.append(1, SlotMeta { page: 9, seq: 1 }, t(0));
+        let s = tb.append(1, sm(9, 1), t(0));
         tb.kill_at(tb.slot_addr(1, s));
         tb.open(0);
         tb.append_tomb(0, vec![(9, 2)], t(1));
@@ -800,7 +898,7 @@ mod tests {
     fn erasing_live_segment_panics() {
         let mut tb = table();
         tb.open(0);
-        tb.append(0, SlotMeta { page: 1, seq: 1 }, t(0));
+        tb.append(0, sm(1, 1), t(0));
         tb.close(0);
         tb.begin_erase(0, t(1));
     }
@@ -809,8 +907,8 @@ mod tests {
     fn live_slots_lists_only_live() {
         let mut tb = table();
         tb.open(0);
-        tb.append(0, SlotMeta { page: 1, seq: 1 }, t(0));
-        let s2 = tb.append(0, SlotMeta { page: 2, seq: 2 }, t(0));
+        tb.append(0, sm(1, 1), t(0));
+        let s2 = tb.append(0, sm(2, 2), t(0));
         tb.kill_at(tb.slot_addr(0, s2));
         tb.append_tomb(0, vec![(2, 3)], t(0));
         let live = tb.seg(0).live_slots();

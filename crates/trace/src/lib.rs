@@ -28,6 +28,7 @@ pub mod analyze;
 pub mod generator;
 pub mod io;
 pub mod lifetime;
+pub mod oracle;
 pub mod record;
 pub mod replay;
 pub mod stream;
@@ -36,6 +37,7 @@ pub use analyze::TraceAnalysis;
 pub use generator::{GeneratorConfig, Workload};
 pub use io::{OpStreamFileReader, OpStreamWriter, StreamHeader, StreamSummary};
 pub use lifetime::LifetimeModel;
+pub use oracle::{pages_allocated, project, OracleConfig, PageOp, PageOpKind};
 pub use record::{FileId, FileOp, OpKind, Trace, TraceRecord, TraceStats};
 pub use replay::{
     coalesce_key, replay, replay_stream, BatchStats, BatchTarget, ReplayReport, TraceTarget,

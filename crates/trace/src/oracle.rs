@@ -1,0 +1,343 @@
+//! Storage-level projection of file traces for the crash-torture sweep.
+//!
+//! The torture harness drives the storage manager with *page* operations
+//! and checks durability against a model oracle; file traces speak in
+//! *file* operations. This module projects one onto the other with a
+//! deterministic first-touch page allocator: each `(file, page-index)`
+//! pair gets a fresh logical page the first time it is written, deletes
+//! and truncates free the file's pages, renames re-home the mapping
+//! without touching storage. The projection is a pure function of the
+//! trace, so every torture cut replays the identical page-op prefix.
+//!
+//! The output is deliberately neutral — plain page ids and op kinds —
+//! so this crate needs no dependency on the storage layer; the bench
+//! harness maps [`PageOpKind`] one-to-one onto the torture op type.
+
+use crate::record::{FileOp, Trace};
+use ssmc_sim::SimDuration;
+use std::collections::BTreeMap;
+
+/// One storage-level operation projected from a file trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageOp {
+    /// What to do.
+    pub kind: PageOpKind,
+    /// Target page for `Write`/`Free`; 0 for `Sync`/`Tick`.
+    pub page: u64,
+}
+
+/// The operation kinds the torture harness replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageOpKind {
+    /// Write one page.
+    Write,
+    /// Free one page.
+    Free,
+    /// Make everything durable.
+    Sync,
+    /// Advance the clock one maintenance step.
+    Tick,
+}
+
+/// Projection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Logical page size used to split file extents into pages.
+    pub page_size: u64,
+    /// Simulated-time gap that emits one `Tick` op (periodic
+    /// maintenance in the replay). `SimDuration::ZERO` disables ticks.
+    pub tick_every: SimDuration,
+    /// Upper bound on consecutive `Tick` ops emitted for one long gap,
+    /// so sparse traces cannot bloat the op stream.
+    pub max_ticks_per_gap: u32,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            page_size: 512,
+            tick_every: SimDuration::from_millis(250),
+            max_ticks_per_gap: 4,
+        }
+    }
+}
+
+/// Projects a file trace into a page-op stream under a first-touch page
+/// allocator. Reads and stats project to nothing (they cannot change
+/// durable state); syncs pass through; writes fan out over the pages
+/// their byte extent touches; deletes and truncations free pages.
+pub fn project(trace: &Trace, cfg: &OracleConfig) -> Vec<PageOp> {
+    assert!(cfg.page_size > 0, "page size must be positive");
+    let ps = cfg.page_size;
+    let mut out = Vec::with_capacity(trace.records.len());
+    // (file, page-index-within-file) -> allocated logical page.
+    // Deterministic iteration matters here — frees walk a file's pages
+    // in index order — so the ordered map is the point.
+    let mut pages: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut next_page = 0u64;
+    let mut last_tick = trace.records.first().map(|r| r.at);
+
+    for r in &trace.records {
+        // Clock gaps become maintenance ticks so the replay exercises
+        // age flushes and checkpoints, not just the sync path.
+        if cfg.tick_every > SimDuration::ZERO {
+            if let Some(last) = last_tick {
+                let gap = r.at.since(last).as_nanos();
+                let step = cfg.tick_every.as_nanos();
+                let ticks = (gap / step).min(u64::from(cfg.max_ticks_per_gap));
+                for _ in 0..ticks {
+                    out.push(PageOp {
+                        kind: PageOpKind::Tick,
+                        page: 0,
+                    });
+                }
+                if ticks > 0 {
+                    last_tick = Some(r.at);
+                }
+            }
+        }
+        match r.op {
+            FileOp::Create { .. } | FileOp::Read { .. } | FileOp::Stat { .. } => {}
+            FileOp::Write { file, offset, len } => {
+                if len == 0 {
+                    continue;
+                }
+                let first = offset / ps;
+                let last = (offset + len - 1) / ps;
+                for idx in first..=last {
+                    let page = *pages.entry((file, idx)).or_insert_with(|| {
+                        let p = next_page;
+                        next_page += 1;
+                        p
+                    });
+                    out.push(PageOp {
+                        kind: PageOpKind::Write,
+                        page,
+                    });
+                }
+            }
+            FileOp::Delete { file } => {
+                free_range(&mut pages, file, 0, &mut out);
+            }
+            FileOp::Truncate { file, len } => {
+                // Pages wholly beyond the new length are freed; a page
+                // straddling the cut survives (its tail bytes are
+                // zeroed by the file layer, not the page allocator).
+                let keep = len.div_ceil(ps);
+                free_range(&mut pages, file, keep, &mut out);
+            }
+            FileOp::Rename { file, to } => {
+                // Re-home the mapping: same physical pages, new file id.
+                // No storage traffic — renames are metadata.
+                let moved: Vec<((u64, u64), u64)> = pages
+                    .range((file, 0)..(file, u64::MAX))
+                    .map(|(&k, &v)| (k, v))
+                    .collect();
+                for ((_, idx), page) in moved {
+                    pages.remove(&(file, idx));
+                    pages.insert((to, idx), page);
+                }
+            }
+            FileOp::Sync => out.push(PageOp {
+                kind: PageOpKind::Sync,
+                page: 0,
+            }),
+        }
+    }
+    out
+}
+
+/// Frees every allocated page of `file` with index `>= from_idx`,
+/// removing the mapping and emitting `Free` ops in index order.
+fn free_range(
+    pages: &mut BTreeMap<(u64, u64), u64>,
+    file: u64,
+    from_idx: u64,
+    out: &mut Vec<PageOp>,
+) {
+    let doomed: Vec<(u64, u64)> = pages
+        .range((file, from_idx)..(file, u64::MAX))
+        .map(|(&(f, i), &p)| {
+            debug_assert_eq!(f, file);
+            (i, p)
+        })
+        .collect();
+    for (idx, page) in doomed {
+        pages.remove(&(file, idx));
+        out.push(PageOp {
+            kind: PageOpKind::Free,
+            page,
+        });
+    }
+}
+
+/// Number of distinct pages a projection allocates — the live-page bound
+/// the torture config must accommodate.
+pub fn pages_allocated(ops: &[PageOp]) -> u64 {
+    ops.iter()
+        .filter(|o| o.kind == PageOpKind::Write)
+        .map(|o| o.page + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Trace;
+    use crate::{GeneratorConfig, Workload};
+    use ssmc_sim::SimTime;
+    use std::collections::BTreeSet;
+
+    fn cfg() -> OracleConfig {
+        OracleConfig {
+            tick_every: SimDuration::ZERO,
+            ..OracleConfig::default()
+        }
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn write_fans_out_over_touched_pages_first_touch_allocates() {
+        let mut t = Trace::new("t");
+        t.push(at(0), FileOp::Create { file: 1 });
+        // 3 pages: [0, 1536) at 512-byte pages.
+        t.push(
+            at(1),
+            FileOp::Write {
+                file: 1,
+                offset: 0,
+                len: 1536,
+            },
+        );
+        // Rewrite of page 1 only: same logical page, no new allocation.
+        t.push(
+            at(2),
+            FileOp::Write {
+                file: 1,
+                offset: 512,
+                len: 512,
+            },
+        );
+        let ops = project(&t, &cfg());
+        let writes: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.kind == PageOpKind::Write)
+            .map(|o| o.page)
+            .collect();
+        assert_eq!(writes, vec![0, 1, 2, 1]);
+        assert_eq!(pages_allocated(&ops), 3);
+    }
+
+    #[test]
+    fn delete_frees_every_allocated_page_exactly_once() {
+        let mut t = Trace::new("t");
+        t.push(at(0), FileOp::Create { file: 9 });
+        t.push(
+            at(1),
+            FileOp::Write {
+                file: 9,
+                offset: 0,
+                len: 2048,
+            },
+        );
+        t.push(at(2), FileOp::Delete { file: 9 });
+        let ops = project(&t, &cfg());
+        let freed: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.kind == PageOpKind::Free)
+            .map(|o| o.page)
+            .collect();
+        assert_eq!(freed, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn truncate_frees_only_the_tail() {
+        let mut t = Trace::new("t");
+        t.push(at(0), FileOp::Create { file: 2 });
+        t.push(
+            at(1),
+            FileOp::Write {
+                file: 2,
+                offset: 0,
+                len: 2048,
+            },
+        );
+        // Truncate to 700 bytes: page 1 straddles (keep), pages 2–3 go.
+        t.push(at(2), FileOp::Truncate { file: 2, len: 700 });
+        let ops = project(&t, &cfg());
+        let freed: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.kind == PageOpKind::Free)
+            .map(|o| o.page)
+            .collect();
+        assert_eq!(freed, vec![2, 3]);
+    }
+
+    #[test]
+    fn rename_rehomes_pages_without_storage_traffic() {
+        let mut t = Trace::new("t");
+        t.push(at(0), FileOp::Create { file: 3 });
+        t.push(
+            at(1),
+            FileOp::Write {
+                file: 3,
+                offset: 0,
+                len: 512,
+            },
+        );
+        t.push(at(2), FileOp::Rename { file: 3, to: 4 });
+        t.push(at(3), FileOp::Delete { file: 4 });
+        let ops = project(&t, &cfg());
+        // Rename emitted nothing; the delete frees the original page.
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[1].kind, PageOpKind::Free);
+        assert_eq!(ops[1].page, 0);
+    }
+
+    #[test]
+    fn time_gaps_emit_bounded_ticks() {
+        let mut t = Trace::new("t");
+        t.push(at(0), FileOp::Create { file: 1 });
+        t.push(at(10_000), FileOp::Sync); // 10 s gap, 250 ms ticks
+        let ops = project(&t, &OracleConfig::default());
+        let ticks = ops.iter().filter(|o| o.kind == PageOpKind::Tick).count();
+        assert_eq!(ticks, 4, "capped at max_ticks_per_gap");
+    }
+
+    /// Invariants over generated workloads: every free targets a page
+    /// that is currently allocated, no page is double-freed without a
+    /// re-allocating write in between, and the projection reproduces.
+    #[test]
+    fn projection_invariants_hold_on_generated_traces() {
+        for (i, w) in [Workload::Bsd, Workload::Office, Workload::Database]
+            .into_iter()
+            .enumerate()
+        {
+            let trace = GeneratorConfig::new(w)
+                .with_ops(2_000)
+                .with_seed(0xACE0 + i as u64)
+                .with_max_live_bytes(1 << 20)
+                .generate();
+            let ops = project(&trace, &OracleConfig::default());
+            assert!(!ops.is_empty());
+            let mut live: BTreeSet<u64> = BTreeSet::new();
+            for op in &ops {
+                match op.kind {
+                    PageOpKind::Write => {
+                        live.insert(op.page);
+                    }
+                    PageOpKind::Free => {
+                        assert!(live.remove(&op.page), "{w:?}: free of dead page");
+                    }
+                    PageOpKind::Sync | PageOpKind::Tick => {}
+                }
+            }
+            let again = project(&trace, &OracleConfig::default());
+            assert_eq!(ops, again, "{w:?}: projection not reproducible");
+        }
+    }
+}

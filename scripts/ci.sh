@@ -93,6 +93,30 @@ fi
 cargo run --release --offline -p ssmc-bench --bin timeline-dump -- \
     "$TRACE_TMP/f2.tl" >/dev/null
 
+# Crash-torture smoke: power-cut injection at every flash program/erase
+# boundary of a 2k-op BSD window, both torn-write modes, recovery
+# differentially checked against the durability model. Exhaustive by
+# design (~20k cut+recover cycles, a few minutes at 4 threads); any
+# violation exits non-zero with the offending cut index printed.
+cargo run --release --offline -p ssmc-bench --bin experiments -- \
+    crash-torture --ops 2000 --tear both --threads 4
+# Sharding determinism: the same sweep, restricted to a small window,
+# must emit byte-identical JSON at 1 and 4 threads.
+cargo run --release --offline -p ssmc-bench --bin experiments -- \
+    crash-torture --ops 300 --tear both --threads 1 --json "$TRACE_TMP/tort1.json"
+cargo run --release --offline -p ssmc-bench --bin experiments -- \
+    crash-torture --ops 300 --tear both --threads 4 --json "$TRACE_TMP/tort4.json"
+cmp "$TRACE_TMP/tort1.json" "$TRACE_TMP/tort4.json"
+# Injected-bug canary: with the feature-gated recovery fault compiled in
+# (torn slots pass CRC validation), the same harness must *catch* it —
+# a clean exit here means the sweep has gone blind.
+if cargo run --release --offline -p ssmc-bench --features fault-canary \
+    --bin experiments -- crash-torture --ops 300 --tear both --threads 4 \
+    >/dev/null 2>&1; then
+    echo "crash-torture failed to flag the injected recovery fault" >&2
+    exit 1
+fi
+
 # Behaviour guard: regenerating every experiment must leave results/
 # untouched — refactors of the hot path may not move a single byte of
 # simulated output.

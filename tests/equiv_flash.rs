@@ -20,9 +20,12 @@ use ssmc::trace::{
     replay, replay_stream, GeneratorConfig, OpKind, OpStream, ReplayReport, Workload,
 };
 
-/// FNV-1a hash of the whole flash address space after the replay + sync,
-/// recorded on the seed implementation.
-const GOLDEN_FLASH_FNV: u64 = 0xc574_63a0_a9cd_2d19;
+/// FNV-1a hash of the whole flash address space after the replay + sync.
+/// Re-recorded for the shadow-slot crash-consistency fix: stale durable
+/// copies of dirty pages now stay Live until their replacement is
+/// flushed, which changes GC victim choice and segment layout (but not
+/// the page count — that is a user-write tally).
+const GOLDEN_FLASH_FNV: u64 = 0x7b0c_1ed6_147f_a880;
 /// Total pages programmed during the same run, recorded alongside the
 /// hash as a cheaper first-line diagnostic.
 const GOLDEN_PAGES_WRITTEN: u64 = 121_954;

@@ -136,7 +136,7 @@ fn segment_recovery_picks_highest_sequence() {
                 // scan must reconstruct this without our help, so just
                 // append (leaving stale Live slots is exactly the
                 // post-crash state).
-                table.append(seg, SlotMeta { page, seq }, SimTime::ZERO);
+                table.append(seg, SlotMeta { page, seq, crc: 0 }, SimTime::ZERO);
             }
             latest.insert(page, (seq, is_tomb));
         }

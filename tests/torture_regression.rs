@@ -1,0 +1,90 @@
+//! Seed-pinned cut-index regressions from the crash-torture sweep.
+//!
+//! The full sweep (`experiments crash-torture`, BSD trace, seed
+//! `0x0C0F_FEE5`, 2 k trace ops) found 129 failing cuts in two windows,
+//! both rooted in the same design flaw: a dirty rewrite eagerly killed
+//! the page's stale-but-durable flash slot, so a segment whose pages
+//! were all rewritten-but-unflushed looked fully dead and GC's
+//! free-lunch path erased it. A power cut before the next flush then
+//! either resurrected an older durable generation (cuts 7736–7762) or
+//! lost synced pages outright (cuts 7961–7998). These tests pin one
+//! representative cut per window through the real `run_cut` path; both
+//! fail on the pre-fix (eager-kill) code and pass with the shadow-slot
+//! shield in `StorageManager`.
+
+use ssmc::device::{FlashSpec, TearMode};
+use ssmc::sim::SimDuration;
+use ssmc::storage::torture::{self, TortureOp};
+use ssmc::storage::StorageConfig;
+use ssmc::trace::{project, GeneratorConfig, OracleConfig, PageOpKind, Workload};
+
+const SEED: u64 = 0x0C0F_FEE5;
+
+/// The exact configuration the bench subcommand sweeps (see
+/// `crash_torture` in `crates/bench/src/bin/experiments.rs`): small
+/// enough that a 2 k-op window exercises GC and checkpointing.
+fn sweep_cfg() -> StorageConfig {
+    StorageConfig {
+        page_size: 512,
+        dram_buffer_bytes: 16 << 10,
+        flash: FlashSpec {
+            banks: 4,
+            blocks_per_bank: 16,
+            block_bytes: 8 << 10,
+            write_unit: 512,
+            ..FlashSpec::default()
+        },
+        gc_trigger_segments: 4,
+        gc_target_segments: 6,
+        checkpoint_interval: SimDuration::from_secs(1),
+        ..StorageConfig::default()
+    }
+}
+
+/// The exact op stream the bench subcommand sweeps.
+fn sweep_ops() -> Vec<TortureOp> {
+    let trace = GeneratorConfig::new(Workload::Bsd)
+        .with_ops(2_000)
+        .with_seed(SEED)
+        .with_max_live_bytes(128 << 10)
+        .generate();
+    project(&trace, &OracleConfig::default())
+        .iter()
+        .map(|o| match o.kind {
+            PageOpKind::Write => TortureOp::Write { page: o.page },
+            PageOpKind::Free => TortureOp::Free { page: o.page },
+            PageOpKind::Sync => TortureOp::Sync,
+            PageOpKind::Tick => TortureOp::Tick,
+        })
+        .collect()
+}
+
+fn assert_cut_passes(cut: u64, tear: TearMode) {
+    let r = torture::run_cut(&sweep_cfg(), &sweep_ops(), SEED, cut, tear);
+    assert!(
+        r.passed(),
+        "{tear:?} cut {cut} regressed: {:?}",
+        r.violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Window A: page 6601's newest durable generation lived in a segment
+/// GC erased while the page sat dirty in the buffer; recovery then
+/// crowned the superseded older generation — a resurrection.
+#[test]
+fn cut_7740_no_stale_generation_resurrected() {
+    assert_cut_passes(7740, TearMode::Prefix);
+    assert_cut_passes(7740, TearMode::Stripe);
+}
+
+/// Window B: pages 6692–6698 were synced, rewritten dirty, and their
+/// only durable copies erased with their segment; the cut lost them
+/// entirely.
+#[test]
+fn cut_7970_no_synced_data_lost() {
+    assert_cut_passes(7970, TearMode::Prefix);
+    assert_cut_passes(7970, TearMode::Stripe);
+}
